@@ -1,0 +1,392 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 5). Each benchmark runs the corresponding
+// experiment at a laptop-scale workload and attaches the headline result
+// metrics via b.ReportMetric, so `go test -bench=. -benchmem` both times
+// the experiment and reports the reproduced numbers. cmd/qbench runs the
+// same experiments at configurable (paper) scale with full output.
+package qcluster_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/eval"
+	"repro/internal/imagegen"
+	"repro/internal/index"
+	"repro/internal/linalg"
+	"repro/internal/pca"
+	"repro/internal/rf"
+	"repro/internal/synth"
+)
+
+// benchDataset is the shared image collection for the retrieval
+// benchmarks (Figs. 6-13): built once, reused by every benchmark.
+var (
+	benchOnce sync.Once
+	benchDS   *dataset.Dataset
+)
+
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := dataset.Build(dataset.Config{
+			Collection: imagegen.CollectionConfig{
+				Seed: 2003, NumCategories: 24, ImagesPerCategory: 50,
+				ImageSize: 24, Themes: 6, BimodalFrac: 0.4,
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		benchDS = ds
+	})
+	return benchDS
+}
+
+func benchRetrievalConfig(ds *dataset.Dataset, f dataset.Feature) eval.RetrievalConfig {
+	return eval.RetrievalConfig{
+		DS: ds, Feature: f,
+		NumQueries: 10, Iterations: 5, K: 50, Seed: 7, UseIndex: true,
+	}
+}
+
+// BenchmarkFig5DisjunctiveCube reproduces Example 3 / Fig. 5: the
+// aggregate disjunctive distance over 10,000 uniform cube points.
+// Reported: points within 1.0 of either corner and the share retrieved
+// around each corner.
+func BenchmarkFig5DisjunctiveCube(b *testing.B) {
+	var res eval.Example3Result
+	for i := 0; i < b.N; i++ {
+		res = eval.RunExample3(42)
+	}
+	b.ReportMetric(float64(res.WithinRadius), "points-within")
+	b.ReportMetric(float64(res.PerCenter[0]), "corner-lo")
+	b.ReportMetric(float64(res.PerCenter[1]), "corner-hi")
+}
+
+// BenchmarkFig6Scheme times the full Qcluster retrieval workload under
+// the two covariance schemes — the inverse-vs-diagonal CPU comparison of
+// Fig. 6. The benchmark time itself is the figure's y-axis.
+func BenchmarkFig6Scheme(b *testing.B) {
+	ds := benchDataset(b)
+	for _, scheme := range []cluster.Scheme{cluster.Diagonal, cluster.FullInverse} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := benchRetrievalConfig(ds, dataset.ColorMoments)
+			var last eval.EngineSeries
+			for i := 0; i < b.N; i++ {
+				last = eval.RunRetrieval(cfg, func() rf.Engine {
+					return rf.NewQcluster(core.Options{Scheme: scheme})
+				})
+			}
+			b.ReportMetric(last.Recall[len(last.Recall)-1], "recall@5")
+			b.ReportMetric(mean(last.CPUMillis), "ms/retrieval")
+		})
+	}
+}
+
+// BenchmarkFig7ExecutionCost compares per-iteration retrieval work across
+// the approaches: Qcluster with the multipoint refinement cache, QPM, QEX
+// and FALCON. Reported: mean index nodes visited and distance
+// evaluations per retrieval (the paper's execution-cost axis).
+func BenchmarkFig7ExecutionCost(b *testing.B) {
+	ds := benchDataset(b)
+	cases := []struct {
+		name   string
+		cached bool
+		mk     func() rf.Engine
+	}{
+		{"Qcluster-cached", true, func() rf.Engine { return rf.NewQcluster(core.Options{}) }},
+		{"Qcluster-cold", false, func() rf.Engine { return rf.NewQcluster(core.Options{}) }},
+		{"QPM", false, func() rf.Engine { return rf.NewQPM() }},
+		{"QEX", false, func() rf.Engine { return rf.NewQEX(5) }},
+		{"FALCON", false, func() rf.Engine { return rf.NewFalcon(-5) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchRetrievalConfig(ds, dataset.ColorMoments)
+			cfg.UseRefinementCache = tc.cached
+			var last eval.EngineSeries
+			for i := 0; i < b.N; i++ {
+				last = eval.RunRetrieval(cfg, tc.mk)
+			}
+			b.ReportMetric(mean(last.NodesVisited), "nodes/retrieval")
+			b.ReportMetric(mean(last.DistanceEvals), "evals/retrieval")
+		})
+	}
+}
+
+// BenchmarkFig8PRColor and BenchmarkFig9PRTexture regenerate the
+// per-iteration precision-recall curves for Qcluster on each feature.
+// Reported: precision and recall at full scope for the initial query and
+// the final iteration (the endpoints of the figures' first/last lines).
+func BenchmarkFig8PRColor(b *testing.B)   { benchPR(b, dataset.ColorMoments) }
+func BenchmarkFig9PRTexture(b *testing.B) { benchPR(b, dataset.CooccurrenceTexture) }
+
+func benchPR(b *testing.B, f dataset.Feature) {
+	ds := benchDataset(b)
+	cfg := benchRetrievalConfig(ds, f)
+	var last eval.EngineSeries
+	for i := 0; i < b.N; i++ {
+		last = eval.RunRetrieval(cfg, func() rf.Engine {
+			return rf.NewQcluster(core.Options{})
+		})
+	}
+	end := len(last.Recall) - 1
+	b.ReportMetric(last.Recall[0], "recall@iter0")
+	b.ReportMetric(last.Recall[end], "recall@final")
+	b.ReportMetric(last.Precision[0], "prec@iter0")
+	b.ReportMetric(last.Precision[end], "prec@final")
+}
+
+// BenchmarkFig10to13Compare regenerates the three-approach comparison
+// (recall: Figs. 10-11; precision: Figs. 12-13) for both features.
+// Reported: final-iteration recall and precision per engine.
+func BenchmarkFig10to13Compare(b *testing.B) {
+	ds := benchDataset(b)
+	engines := []struct {
+		name string
+		mk   func() rf.Engine
+	}{
+		{"Qcluster", func() rf.Engine { return rf.NewQcluster(core.Options{}) }},
+		{"QPM", func() rf.Engine { return rf.NewQPM() }},
+		{"QEX", func() rf.Engine { return rf.NewQEX(5) }},
+	}
+	for _, f := range []dataset.Feature{dataset.ColorMoments, dataset.CooccurrenceTexture} {
+		f := f
+		for _, e := range engines {
+			e := e
+			b.Run(f.String()+"/"+e.name, func(b *testing.B) {
+				cfg := benchRetrievalConfig(ds, f)
+				var last eval.EngineSeries
+				for i := 0; i < b.N; i++ {
+					last = eval.RunRetrieval(cfg, e.mk)
+				}
+				end := len(last.Recall) - 1
+				b.ReportMetric(last.Recall[end], "recall@final")
+				b.ReportMetric(last.Precision[end], "prec@final")
+			})
+		}
+	}
+}
+
+// BenchmarkFig14to17Classification regenerates the synthetic
+// classification error-rate sweeps (3 Gaussian clusters in ℝ¹⁶, PCA to
+// 12/9/6/3, inter-cluster distance 0.5-2.5) for every shape×scheme cell.
+// Reported: error rate at the narrowest and widest separation (dim 12).
+func BenchmarkFig14to17Classification(b *testing.B) {
+	cases := []struct {
+		name   string
+		shape  synth.Shape
+		scheme cluster.Scheme
+	}{
+		{"fig14-spherical-inverse", synth.Spherical, cluster.FullInverse},
+		{"fig15-elliptical-inverse", synth.Elliptical, cluster.FullInverse},
+		{"fig16-spherical-diagonal", synth.Spherical, cluster.Diagonal},
+		{"fig17-elliptical-diagonal", synth.Elliptical, cluster.Diagonal},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var res eval.ClassificationResult
+			for i := 0; i < b.N; i++ {
+				res = eval.RunClassification(eval.ClassificationConfig{
+					Shape: tc.shape, Scheme: tc.scheme,
+					PointsPerCluster: 30, Trials: 3, Seed: 11,
+				})
+			}
+			last := len(res.Config.InterDists) - 1
+			b.ReportMetric(res.Err[0][0], "err-dim12-near")
+			b.ReportMetric(res.Err[0][last], "err-dim12-far")
+			b.ReportMetric(res.Err[len(res.Err)-1][0], "err-dim3-near")
+		})
+	}
+}
+
+// BenchmarkFig18and19QQ regenerates the Q-Q studies: 100 cluster pairs
+// (half same-mean, half different), T² against random-F critical
+// distances, under each scheme. Reported: decision accuracy per
+// population at the F(0.95) critical value.
+func BenchmarkFig18and19QQ(b *testing.B) {
+	for _, scheme := range []cluster.Scheme{cluster.FullInverse, cluster.Diagonal} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			var pts []eval.QQPoint
+			var threshold float64
+			for i := 0; i < b.N; i++ {
+				pts, threshold = eval.RunQQ(scheme, 100, 12, 23)
+			}
+			var sameOK, same, diffOK, diff int
+			for _, p := range pts {
+				if p.SameMean {
+					same++
+					if p.T2 <= threshold {
+						sameOK++
+					}
+				} else {
+					diff++
+					if p.T2 > threshold {
+						diffOK++
+					}
+				}
+			}
+			b.ReportMetric(float64(sameOK)/float64(same), "same-mean-merged")
+			b.ReportMetric(float64(diffOK)/float64(diff), "diff-mean-separated")
+		})
+	}
+}
+
+// BenchmarkTable2 and BenchmarkTable3 regenerate the T² accuracy tables
+// (100 pairs of size-30 clusters, dims 12/9/6/3). Reported: the dim-12
+// and dim-3 rows' F-scaled average T² and error ratio.
+func BenchmarkTable2(b *testing.B) { benchT2(b, true) }
+func BenchmarkTable3(b *testing.B) { benchT2(b, false) }
+
+func benchT2(b *testing.B, sameMean bool) {
+	for _, scheme := range []cluster.Scheme{cluster.FullInverse, cluster.Diagonal} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			var rows []eval.T2Row
+			for i := 0; i < b.N; i++ {
+				rows = eval.RunT2(eval.T2Config{
+					SameMean: sameMean, Scheme: scheme, Pairs: 100, Seed: 17,
+				})
+			}
+			b.ReportMetric(rows[0].AvgT2, "avgT2-dim12")
+			b.ReportMetric(rows[len(rows)-1].AvgT2, "avgT2-dim3")
+			b.ReportMetric(rows[0].ErrorRatio, "err%-dim12")
+		})
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// BenchmarkIndexComparison times the three search substrates — linear
+// scan, hybrid tree, VA-file — on identical k-NN workloads over a
+// 30,000-vector store (single-point and disjunctive queries). Reported:
+// exact distance evaluations per query (the filtering power).
+func BenchmarkIndexComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	const n, dim = 30000, 3
+	vecs := make([]linalg.Vector, n)
+	for i := range vecs {
+		vecs[i] = linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+	}
+	store, err := index.NewStore(vecs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := index.NewHybridTree(store, index.TreeOptions{})
+	va := index.NewVAFile(store, index.VAFileOptions{})
+	scan := index.NewLinearScan(store)
+
+	q1 := distance.NewQuadraticDiag(linalg.Vector{-2, -2, -2}, linalg.Vector{1, 1, 1})
+	q2 := distance.NewQuadraticDiag(linalg.Vector{2, 2, 2}, linalg.Vector{1, 1, 1})
+	metrics := map[string]distance.Metric{
+		"euclidean":   &distance.Euclidean{Center: linalg.Vector{0.5, 0.5, 0.5}},
+		"disjunctive": distance.NewDisjunctive([]*distance.Quadratic{q1, q2}, []float64{1, 1}),
+	}
+	searchers := []struct {
+		name string
+		s    index.Searcher
+	}{
+		{"scan", scan},
+		{"hybridtree", tree},
+		{"vafile", va},
+	}
+	for mName, m := range metrics {
+		for _, sc := range searchers {
+			m, sc := m, sc
+			b.Run(mName+"/"+sc.name, func(b *testing.B) {
+				var stats index.SearchStats
+				for i := 0; i < b.N; i++ {
+					_, stats = sc.s.KNN(m, 100)
+				}
+				b.ReportMetric(float64(stats.DistanceEvals), "exact-evals")
+			})
+		}
+	}
+}
+
+// BenchmarkT2PCSpaceSpeedup measures the paper's Sec. 4.4 claim that
+// Hotelling's T² in principal-component space "becomes a quadratic form
+// which saves a lot of computing efforts": the diagonal PC-space sum
+// (Eq. 18) versus the full pooled-inverse quadratic form, at dimension
+// 16.
+func BenchmarkT2PCSpaceSpeedup(b *testing.B) {
+	rng := rand.New(rand.NewSource(88))
+	const dim, n = 16, 200
+	rows := make([]linalg.Vector, n)
+	for i := range rows {
+		v := make(linalg.Vector, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64() * float64(1+d%4)
+		}
+		rows[i] = v
+	}
+	fitted, err := pca.Fit(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y := rows[0], rows[1]
+	zx, zy := fitted.Project(x, dim), fitted.Project(y, dim)
+
+	// Full form: (x̄-ȳ)' S⁻¹ (x̄-ȳ) with S reconstructed from eigenpairs.
+	S := fitted.Components.Mul(linalg.Diag(fitted.Eigenvalues)).Mul(fitted.Components.T())
+	inv, err := S.Inverse()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("full-quadratic", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			d := x.Sub(y)
+			acc += inv.QuadForm(d)
+		}
+		sink = acc
+	})
+	b.Run("pc-space-diagonal", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += fitted.T2PC(zx, zy, 30, 30)
+		}
+		sink = acc
+	})
+}
+
+var sink float64
+
+// BenchmarkAblations runs each small-sample correction removed in turn
+// on the complex-query vector world; the reported recall shows what each
+// correction contributes (see DESIGN.md "Implementation notes").
+func BenchmarkAblations(b *testing.B) {
+	wcfg := eval.VectorWorldConfig{Seed: 9, NumCategories: 16, PerCategory: 60}
+	cfg := eval.WorkloadConfig{
+		NumQueries: 8, Iterations: 4, K: 100, Seed: 5,
+		UseIndex: true, RelatedScore: -1,
+	}
+	var results []eval.AblationResult
+	for i := 0; i < b.N; i++ {
+		results = eval.RunAblations(cfg, wcfg)
+	}
+	for _, r := range results {
+		last := len(r.Series.Recall) - 1
+		b.ReportMetric(r.Series.Recall[last], "recall/"+r.Name)
+	}
+}

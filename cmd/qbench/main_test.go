@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestExpandExperiments(t *testing.T) {
+	all := expandExperiments("all")
+	if len(all) != 17 {
+		t.Errorf("all expands to %d experiments", len(all))
+	}
+	got := expandExperiments(" fig5, table2 ,,fig10v ")
+	want := []string{"fig5", "table2", "fig10v"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if out := expandExperiments(""); len(out) != 0 {
+		t.Errorf("empty spec expands to %v", out)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	r := newRunner(config{})
+	// Every id "all" expands to must be registered...
+	for _, id := range expandExperiments("all") {
+		if _, ok := r.experiments[id]; !ok {
+			t.Errorf("experiment %q in 'all' but not registered", id)
+		}
+	}
+	// ...and the extras must exist too.
+	for _, id := range []string{"fig10v", "fig12v", "fig10c", "fig12c", "ablation", "convergence"} {
+		if _, ok := r.experiments[id]; !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestEngineFactoriesFresh(t *testing.T) {
+	// Each factory call must return an independent engine instance.
+	for name, mk := range engineFactories {
+		a, b := mk(), mk()
+		if a == b {
+			t.Errorf("factory %q returned a shared instance", name)
+		}
+		if a.Name() == "" {
+			t.Errorf("factory %q engine has empty name", name)
+		}
+	}
+}
+
+func TestSyntheticExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	// Smoke: the dataset-free experiments run end to end without
+	// panicking at tiny scale.
+	r := newRunner(config{queries: 2, iters: 1, k: 10, pairs: 4, trials: 1, seed: 1})
+	for _, id := range []string{"fig5", "fig18", "table2"} {
+		r.experiments[id]()
+	}
+}

@@ -1,0 +1,99 @@
+// Command qgen builds the synthetic image collection, extracts the color
+// and texture features from every rendered image, and writes a dataset
+// snapshot that cmd/qbench and cmd/qdemo can reload instantly.
+//
+// Usage:
+//
+//	qgen -out corel.gob -cats 300 -percat 100 -size 32
+//	qbench -data corel.gob -exp fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/imagegen"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "dataset.gob", "snapshot output path")
+		cats    = flag.Int("cats", 300, "number of categories (paper: ~300)")
+		perCat  = flag.Int("percat", 100, "images per category (paper: ~100)")
+		size    = flag.Int("size", 32, "image side length in pixels")
+		themes  = flag.Int("themes", 0, "number of themes (0 = built-in default)")
+		bimodal = flag.Float64("bimodal", 0.3, "fraction of multi-variant (complex) categories")
+		seed    = flag.Int64("seed", 2003, "generator seed")
+		workers = flag.Int("workers", 0, "extraction workers (0 = GOMAXPROCS)")
+		sample  = flag.String("sample", "", "also write sample PNGs (one per category, first 12 categories) to this directory")
+	)
+	flag.Parse()
+
+	cfg := dataset.Config{
+		Collection: imagegen.CollectionConfig{
+			Seed:              *seed,
+			NumCategories:     *cats,
+			ImagesPerCategory: *perCat,
+			ImageSize:         *size,
+			Themes:            *themes,
+			BimodalFrac:       *bimodal,
+		},
+		Workers: *workers,
+	}
+	fmt.Fprintf(os.Stderr, "rendering %d images (%d categories x %d, %dpx) and extracting features...\n",
+		*cats**perCat, *cats, *perCat, *size)
+	start := time.Now()
+	ds, err := dataset.Build(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "build: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "built in %v; writing %s\n", time.Since(start).Round(time.Millisecond), *out)
+	if err := ds.SaveFile(*out, cfg.Collection); err != nil {
+		fmt.Fprintf(os.Stderr, "save: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d images, color %d-d, texture %d-d -> %s\n",
+		ds.NumImages(), ds.Color[0].Dim(), ds.Texture[0].Dim(), *out)
+
+	if *sample != "" {
+		if err := writeSamples(ds, *sample); err != nil {
+			fmt.Fprintf(os.Stderr, "samples: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sample images written to %s\n", *sample)
+	}
+}
+
+// writeSamples renders one PNG per category (capped at 12 categories,
+// one image per variant) so the synthetic collection can be inspected.
+func writeSamples(ds *dataset.Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	col := ds.Col
+	for cat := 0; cat < len(col.Categories) && cat < 12; cat++ {
+		c := col.Categories[cat]
+		for v := range c.Variants {
+			img := c.RenderVariant(v, int64(1000+v), col.ImageSize)
+			path := filepath.Join(dir, fmt.Sprintf("%s-v%d.png", c.Name, v))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := png.Encode(f, img); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package qcluster
+
+import (
+	"fmt"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/linalg"
+)
+
+// Result is one retrieval answer.
+type Result struct {
+	// ID is the database index of the item.
+	ID int
+	// Dist is its distance under the query's current distance function.
+	Dist float64
+}
+
+// Database is an indexed, immutable feature-vector collection. Searches
+// run on a hybrid-tree-style index with best-first pruning; arbitrary
+// query distance functions (single-point, disjunctive multipoint) are
+// supported through lower-boundable metrics.
+type Database struct {
+	store *index.Store
+	tree  *index.HybridTree
+}
+
+// NewDatabase indexes the given vectors. All vectors must share one
+// dimensionality. The slice is retained.
+func NewDatabase(vectors [][]float64) (*Database, error) {
+	vecs := make([]linalg.Vector, len(vectors))
+	for i, v := range vectors {
+		vecs[i] = linalg.Vector(v)
+	}
+	store, err := index.NewStore(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("qcluster: %w", err)
+	}
+	return &Database{
+		store: store,
+		tree:  index.NewHybridTree(store, index.TreeOptions{}),
+	}, nil
+}
+
+// Add appends a new item to the database and the index, returning its
+// id. Concurrent Add and Search calls must be externally synchronized;
+// a Database that is only searched is safe for concurrent use.
+func (db *Database) Add(vector []float64) (int, error) {
+	id, err := db.store.Append(linalg.Vector(vector))
+	if err != nil {
+		return 0, fmt.Errorf("qcluster: %w", err)
+	}
+	db.tree.Insert(id)
+	return id, nil
+}
+
+// Len returns the number of items.
+func (db *Database) Len() int { return db.store.Len() }
+
+// Dim returns the feature dimensionality.
+func (db *Database) Dim() int { return db.store.Dim() }
+
+// Vector returns item id's feature vector (read-only).
+func (db *Database) Vector(id int) []float64 { return db.store.Vector(id) }
+
+// SearchByExample answers a plain k-NN query around an example vector —
+// the initial retrieval of a feedback session.
+func (db *Database) SearchByExample(example []float64, k int) []Result {
+	m := &distance.Euclidean{Center: linalg.Vector(example)}
+	res, _ := db.tree.KNN(m, k)
+	return convertResults(res)
+}
+
+// Search answers a k-NN query under the query model's aggregate
+// disjunctive distance. The query must have absorbed feedback (Ready).
+func (db *Database) Search(q *Query, k int) []Result {
+	res, _ := db.tree.KNN(q.model.Metric(), k)
+	return convertResults(res)
+}
+
+func convertResults(rs []index.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+// Session is the end-to-end feedback loop over one database: retrieve,
+// mark, refine — Algorithm 1 behind a two-method API.
+type Session struct {
+	db       *Database
+	query    *Query
+	example  linalg.Vector
+	searcher *index.RefinementSearcher
+}
+
+// NewSession starts a retrieval session from an example feature vector.
+func (db *Database) NewSession(example []float64, opt Options) *Session {
+	return &Session{
+		db:       db,
+		query:    NewQuery(opt),
+		example:  linalg.Vector(example).Clone(),
+		searcher: index.NewRefinementSearcher(db.tree),
+	}
+}
+
+// Results retrieves the current top-k. Before any feedback this is the
+// plain example query; afterwards it is the refined multipoint query.
+// Successive calls reuse index work from the previous iteration (the
+// multipoint refinement caching of the paper's Fig. 7).
+func (s *Session) Results(k int) []Result {
+	var m distance.Metric
+	if s.query.Ready() {
+		m = s.query.model.Metric()
+	} else {
+		m = &distance.Euclidean{Center: s.example}
+	}
+	res, _ := s.searcher.KNN(m, k)
+	return convertResults(res)
+}
+
+// MarkRelevant feeds the user's relevance judgement back into the query.
+// It returns an error when a point's dimensionality does not match the
+// database's.
+func (s *Session) MarkRelevant(points []Point) error {
+	for i, p := range points {
+		if p.Score > 0 && len(p.Vec) != s.db.Dim() {
+			return fmt.Errorf("qcluster: point %d has dimension %d, database has %d",
+				i, len(p.Vec), s.db.Dim())
+		}
+	}
+	return s.query.Feedback(points)
+}
+
+// Query exposes the underlying query model for inspection.
+func (s *Session) Query() *Query { return s.query }

@@ -1,0 +1,54 @@
+package qcluster_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates a complete feedback loop on a toy collection: a
+// bimodal "concept" (ids 0-9 near the origin, ids 10-19 near (5,5)) with
+// unrelated items in between. After one round of feedback containing
+// points from both modes, the query becomes a two-point disjunctive
+// query and retrieves both modes ahead of the middle items.
+func Example() {
+	var vectors [][]float64
+	for i := 0; i < 10; i++ { // mode A
+		vectors = append(vectors, []float64{float64(i) * 0.01, 0})
+	}
+	for i := 0; i < 10; i++ { // mode B
+		vectors = append(vectors, []float64{5 + float64(i)*0.01, 5})
+	}
+	for i := 0; i < 10; i++ { // middle clutter
+		vectors = append(vectors, []float64{2.5 + float64(i)*0.01, 2.5})
+	}
+
+	db, err := qcluster.NewDatabase(vectors)
+	if err != nil {
+		panic(err)
+	}
+	q := qcluster.NewQuery(qcluster.Options{})
+	if err := q.Feedback([]qcluster.Point{
+		{ID: 0, Vec: db.Vector(0), Score: 3},
+		{ID: 1, Vec: db.Vector(1), Score: 3},
+		{ID: 10, Vec: db.Vector(10), Score: 3},
+		{ID: 11, Vec: db.Vector(11), Score: 3},
+	}); err != nil {
+		panic(err)
+	}
+
+	results := db.Search(q, 20)
+	modeHits, clutterHits := 0, 0
+	for _, r := range results {
+		if r.ID < 20 {
+			modeHits++
+		} else {
+			clutterHits++
+		}
+	}
+	fmt.Printf("query points: %d\n", q.NumQueryPoints())
+	fmt.Printf("top-20: %d mode items, %d clutter items\n", modeHits, clutterHits)
+	// Output:
+	// query points: 2
+	// top-20: 20 mode items, 0 clutter items
+}

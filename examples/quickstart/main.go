@@ -1,0 +1,75 @@
+// Quickstart: the minimal end-to-end Qcluster feedback loop on a small
+// vector collection using only the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// A toy collection: three "categories" as Gaussian blobs in 3-D
+	// feature space. Category 0 is bimodal — its items live near both
+	// (0,0,0) and (4,4,4), like the paper's birds on two backgrounds.
+	var vectors [][]float64
+	var labels []int
+	blob := func(label, n int, cx, cy, cz, spread float64) {
+		for i := 0; i < n; i++ {
+			vectors = append(vectors, []float64{
+				cx + spread*rng.NormFloat64(),
+				cy + spread*rng.NormFloat64(),
+				cz + spread*rng.NormFloat64(),
+			})
+			labels = append(labels, label)
+		}
+	}
+	blob(0, 20, 0, 0, 0, 0.4)
+	blob(0, 20, 4, 4, 4, 0.4)
+	blob(1, 40, -5, 5, 0, 0.5)
+	blob(2, 15, 2, 2, 2, 1.0) // clutter between category 0's modes
+
+	db, err := qcluster.NewDatabase(vectors)
+	if err != nil {
+		panic(err)
+	}
+
+	// Start a session from a category-0 example and run five feedback
+	// rounds, marking category-0 results as relevant (score 3).
+	session := db.NewSession(db.Vector(0), qcluster.Options{})
+	for round := 0; round <= 5; round++ {
+		results := session.Results(40)
+		hits := 0
+		for _, r := range results {
+			if labels[r.ID] == 0 {
+				hits++
+			}
+		}
+		fmt.Printf("round %d: %2d/40 of category 0 in the top-40, %d query point(s)\n",
+			round, hits, session.Query().NumQueryPoints())
+		if round == 5 {
+			break
+		}
+		var marked []qcluster.Point
+		for _, r := range results {
+			if labels[r.ID] == 0 {
+				marked = append(marked, qcluster.Point{
+					ID: r.ID, Vec: db.Vector(r.ID), Score: 3,
+				})
+			}
+		}
+		session.MarkRelevant(marked)
+	}
+
+	fmt.Printf("\nfinal query representatives:\n")
+	for i, rep := range session.Query().Representatives() {
+		fmt.Printf("  %d: (%.2f, %.2f, %.2f)\n", i, rep[0], rep[1], rep[2])
+	}
+	fmt.Printf("cluster quality (leave-one-out error): %.3f\n",
+		session.Query().ClusterQualityError())
+}

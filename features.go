@@ -1,0 +1,24 @@
+package qcluster
+
+import (
+	"image"
+
+	"repro/internal/feature"
+)
+
+// ColorMomentsFeature extracts the HSV color-moment vector from an image:
+// the hue mean (encoded as cosine and sine to respect hue circularity),
+// hue dispersion moments, and mean/deviation/skewness of saturation and
+// value — 10 components. Reduce with PCA (the paper uses 3 components)
+// before indexing large collections.
+func ColorMomentsFeature(img image.Image) []float64 {
+	return feature.ColorMoments(img)
+}
+
+// TextureFeature extracts the 16-component gray-level co-occurrence
+// texture vector (energy, inertia, entropy, homogeneity and the further
+// Haralick statistics). Reduce with PCA (the paper uses 4 components)
+// before indexing large collections.
+func TextureFeature(img image.Image) []float64 {
+	return feature.TextureFeatures(img)
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/stat"
+)
+
+// MergeOptions configures Algorithm 3 (cluster merging).
+type MergeOptions struct {
+	// Scheme selects diagonal or full-inverse pooled covariance.
+	Scheme Scheme
+	// Alpha is the significance level α of the T² test. Smaller α gives a
+	// larger critical distance c², i.e. more merging (Sec. 4.3).
+	Alpha float64
+	// MaxClusters, when > 0, keeps merging the statistically closest
+	// pairs until the number of clusters is at most this bound — the
+	// paper's "increase critical distance c² using α" requeue loop
+	// (Algorithm 3 lines 7-11).
+	MaxClusters int
+	// DisableOverlap turns off the ellipsoid-overlap merge criterion,
+	// leaving only the T² test (with its small-sample fallback) — the
+	// paper's Algorithm 3 read literally. Exposed for ablation studies;
+	// see decideMerge for why the criterion exists.
+	DisableOverlap bool
+}
+
+func (o MergeOptions) withDefaults() MergeOptions {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	return o
+}
+
+// smallSampleMergeTest decides merging when the F test is undefined
+// (m_i + m_j <= p + 1): it falls back to an effective-radius style test,
+// merging when the pooled Mahalanobis distance between centroids is within
+// the χ²_p(1-α) contour. This keeps genuinely distant singleton clusters
+// separate (they are the point of disjunctive queries) while nearby
+// fragments still coalesce.
+func smallSampleMergeTest(a, b *Cluster, scheme Scheme, alpha float64) (bool, float64, float64) {
+	pooled := PooledTwo(a, b)
+	inv := InverseOf(pooled, scheme)
+	d := a.Mean.Sub(b.Mean)
+	dist := inv.QuadForm(d)
+	radius := stat.ChiSquareQuantile(1-alpha, float64(a.Dim()))
+	return dist <= radius, dist, radius
+}
+
+// decideMerge runs the merge tests for a pair. Two criteria, either of
+// which merges:
+//
+//  1. Hotelling's T² equality-of-means test (Eq. 16), when defined.
+//  2. The ellipsoid-overlap criterion: the centroid gap measured under
+//     the pooled WITHIN-covariance lies inside the χ²_p(1-α) contour —
+//     the same quadratic form as the small-sample fallback, applied at
+//     every sample size. This is what keeps Algorithm 3 from
+//     over-splitting a densely sampled mode: fragments of one region
+//     have means that differ *statistically* (T² rejects them at any
+//     n), but their gap is small relative to their within-spread, so
+//     they describe one perceptual region and must stay one query
+//     cluster.
+func decideMerge(a, b *Cluster, opt MergeOptions) (merge bool, t2, c2 float64) {
+	overlap, gap, radius := smallSampleMergeTest(a, b, opt.Scheme, opt.Alpha)
+	if opt.DisableOverlap {
+		overlap = false
+	}
+	// The F test needs real degrees of freedom: POINT counts, not
+	// relevance mass (a pair of heavily-scored singletons has weight
+	// above p+1 but a zero pooled covariance, and the tiny-df F quantile
+	// is so large the test would merge anything).
+	if float64(a.N()+b.N())-float64(a.Dim())-1 > 0 {
+		merge, t2, c2 = MergeTest(a, b, opt.Scheme, opt.Alpha)
+		return merge || overlap, t2, c2
+	}
+	if opt.DisableOverlap {
+		// Literal-Algorithm-3 mode still needs some small-sample rule;
+		// keep the χ² gap decision (without it singletons could never
+		// form initial clusters at all).
+		return gap <= radius, gap, radius
+	}
+	return overlap, gap, radius
+}
+
+// Merge implements Algorithm 3. Starting from the given clusters it
+// repeatedly merges the pair with the smallest T²/c² ratio while the
+// tests accept the pair, recomputing statistics incrementally via
+// MergeStats (Eq. 11-13). If MaxClusters > 0 and the count is still above
+// it once no pair passes, the statistically closest pairs keep merging
+// until the bound holds — the paper's "increase critical distance c²
+// using α" requeue loop.
+//
+// The input slice is not modified; the result holds merged clusters plus
+// survivors.
+func Merge(cs []*Cluster, opt MergeOptions) []*Cluster {
+	opt = opt.withDefaults()
+	// Work on a copy.
+	work := make([]*Cluster, len(cs))
+	copy(work, cs)
+
+	// Phase 1: merge while pairs pass the tests at the configured α. The
+	// pair with the smallest T²/c² ratio merges first. g is small (tens
+	// at most), so the O(g²) rescan per merge is cheap and keeps
+	// statistics exact after each merge.
+	for len(work) > 1 {
+		bestI, bestJ := -1, -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				ok, t2, c2 := decideMerge(work[i], work[j], opt)
+				if !ok {
+					continue
+				}
+				ratio := t2 / math.Max(c2, 1e-300)
+				if ratio < bestRatio {
+					bestRatio, bestI, bestJ = ratio, i, j
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		work = mergeAt(work, bestI, bestJ)
+	}
+
+	// Phase 2: if the cluster count still exceeds the bound, merge the
+	// statistically closest pair (smallest T²/c² ratio, i.e. the pair
+	// that would pass first as α shrinks and c² grows — the paper's
+	// "increase critical distance c² using α" requeue loop), one pair at
+	// a time, stopping exactly at the bound.
+	if opt.MaxClusters > 0 {
+		for len(work) > opt.MaxClusters && len(work) > 1 {
+			bestI, bestJ := 0, 1
+			bestRatio := math.Inf(1)
+			for i := 0; i < len(work); i++ {
+				for j := i + 1; j < len(work); j++ {
+					_, t2, c2 := decideMerge(work[i], work[j], opt)
+					ratio := t2 / math.Max(c2, 1e-300)
+					if ratio < bestRatio {
+						bestRatio, bestI, bestJ = ratio, i, j
+					}
+				}
+			}
+			work = mergeAt(work, bestI, bestJ)
+		}
+	}
+	return work
+}
+
+func mergeAt(work []*Cluster, i, j int) []*Cluster {
+	m := MergeStats(work[i], work[j])
+	work[i] = m
+	return append(work[:j], work[j+1:]...)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/linalg"
+)
+
+// modelSnapshot is the gob wire format of a query model: enough to
+// restore the full feedback state (clusters with member points, seen-id
+// set, options) so a retrieval session can be suspended and resumed.
+type modelSnapshot struct {
+	Options  Options
+	Clusters []clusterSnapshot
+	SeenIDs  []int
+}
+
+type clusterSnapshot struct {
+	IDs    []int
+	Vecs   []linalg.Vector
+	Scores []float64
+	// Exact statistics, so the restored model is bit-identical to the
+	// saved one (recomputing them from the points would accumulate
+	// different floating-point rounding than the incremental merge
+	// formulas did).
+	Mean    linalg.Vector
+	Scatter *linalg.Matrix
+	Weight  float64
+}
+
+// Save serializes the query model to w.
+func (m *QueryModel) Save(w io.Writer) error {
+	snap := modelSnapshot{Options: m.opt}
+	for id := range m.seen {
+		snap.SeenIDs = append(snap.SeenIDs, id)
+	}
+	for _, c := range m.clusters {
+		cs := clusterSnapshot{
+			Mean:    c.Mean,
+			Scatter: c.Scatter,
+			Weight:  c.Weight,
+		}
+		for _, p := range c.Points {
+			cs.IDs = append(cs.IDs, p.ID)
+			cs.Vecs = append(cs.Vecs, p.Vec)
+			cs.Scores = append(cs.Scores, p.Score)
+		}
+		snap.Clusters = append(snap.Clusters, cs)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load restores a query model saved with Save. Cluster statistics are
+// recomputed exactly from the member points, so a loaded model is
+// indistinguishable from the original.
+func Load(r io.Reader) (*QueryModel, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode query model: %w", err)
+	}
+	m := New(snap.Options)
+	for _, id := range snap.SeenIDs {
+		m.seen[id] = true
+	}
+	for _, cs := range snap.Clusters {
+		if len(cs.IDs) != len(cs.Vecs) || len(cs.IDs) != len(cs.Scores) {
+			return nil, fmt.Errorf("core: corrupt cluster snapshot")
+		}
+		if len(cs.IDs) == 0 {
+			continue
+		}
+		dim := cs.Vecs[0].Dim()
+		if cs.Mean.Dim() != dim || cs.Scatter == nil || cs.Scatter.Rows != dim || cs.Scatter.Cols != dim {
+			return nil, fmt.Errorf("core: corrupt snapshot: statistics shape mismatch")
+		}
+		c := cluster.New(dim)
+		for i := range cs.IDs {
+			if cs.Scores[i] <= 0 {
+				return nil, fmt.Errorf("core: corrupt snapshot: non-positive score")
+			}
+			c.Points = append(c.Points, cluster.Point{ID: cs.IDs[i], Vec: cs.Vecs[i], Score: cs.Scores[i]})
+		}
+		c.Mean = cs.Mean
+		c.Scatter = cs.Scatter
+		c.Weight = cs.Weight
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: corrupt snapshot: %w", err)
+		}
+		m.clusters = append(m.clusters, c)
+	}
+	return m, nil
+}

@@ -1,0 +1,223 @@
+// Package dataset assembles the retrieval test collection: it renders the
+// synthetic image collection, extracts the two visual features of the
+// paper (HSV color moments and co-occurrence texture) from every raster
+// in parallel, and reduces them with PCA to the paper's working
+// dimensionalities (color → 3, texture → 4). The result is what Section 5
+// calls "the test set of data": feature vectors plus category ground
+// truth.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/imagegen"
+	"repro/internal/linalg"
+	"repro/internal/pca"
+)
+
+// Config sizes and shapes a dataset build.
+type Config struct {
+	Collection imagegen.CollectionConfig
+	// ColorDim is the PCA-reduced color dimensionality (paper: 3).
+	ColorDim int
+	// TextureDim is the PCA-reduced texture dimensionality (paper: 4).
+	TextureDim int
+	// Workers bounds feature-extraction parallelism (default: GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ColorDim <= 0 {
+		c.ColorDim = 3
+	}
+	if c.TextureDim <= 0 {
+		c.TextureDim = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Dataset is the built collection: reduced feature vectors, the PCA
+// transforms that produced them, and the ground-truth labels.
+type Dataset struct {
+	Col *imagegen.Collection
+
+	// Color holds the PCA-reduced color-moment vectors, one per image.
+	Color []linalg.Vector
+	// Texture holds the PCA-reduced co-occurrence texture vectors.
+	Texture []linalg.Vector
+
+	// RawColor and RawTexture are the pre-PCA feature vectors.
+	RawColor, RawTexture []linalg.Vector
+
+	// ColorPCA and TexturePCA are the fitted transforms.
+	ColorPCA, TexturePCA *pca.PCA
+
+	combined []linalg.Vector // lazily built Combined space
+}
+
+// Build renders and featurizes the whole collection.
+func Build(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	col := imagegen.NewCollection(cfg.Collection)
+	n := col.NumImages()
+
+	ds := &Dataset{
+		Col:        col,
+		RawColor:   make([]linalg.Vector, n),
+		RawTexture: make([]linalg.Vector, n),
+	}
+
+	// Parallel render + extract.
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range work {
+				img := col.Render(id)
+				ds.RawColor[id] = feature.ColorMoments(img)
+				ds.RawTexture[id] = feature.TextureFeatures(img)
+			}
+		}()
+	}
+	for id := 0; id < n; id++ {
+		work <- id
+	}
+	close(work)
+	wg.Wait()
+
+	if err := ds.reduce(cfg); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// reduce standardizes each raw feature component to unit variance over
+// the collection (the MARS normalization — without it the hue components,
+// whose collection-wide variance dwarfs the saturation/value moments,
+// would monopolize the leading principal components) and then fits PCA
+// and projects to the working dimensionalities.
+func (ds *Dataset) reduce(cfg Config) error {
+	stdColor := standardize(ds.RawColor)
+	stdTexture := standardize(ds.RawTexture)
+	cp, err := pca.Fit(stdColor)
+	if err != nil {
+		return fmt.Errorf("dataset: color PCA: %w", err)
+	}
+	tp, err := pca.Fit(stdTexture)
+	if err != nil {
+		return fmt.Errorf("dataset: texture PCA: %w", err)
+	}
+	ds.ColorPCA, ds.TexturePCA = cp, tp
+	ds.Color = cp.ProjectAll(stdColor, cfg.ColorDim)
+	ds.Texture = tp.ProjectAll(stdTexture, cfg.TextureDim)
+	return nil
+}
+
+// standardize returns z-scored copies of the rows (per-component mean 0,
+// variance 1 over the collection; constant components are left centered).
+func standardize(rows []linalg.Vector) []linalg.Vector {
+	if len(rows) == 0 {
+		return nil
+	}
+	p := rows[0].Dim()
+	mean := linalg.NewVector(p)
+	for _, r := range rows {
+		mean.AddScaled(1, r)
+	}
+	mean = mean.Scale(1 / float64(len(rows)))
+	variance := linalg.NewVector(p)
+	for _, r := range rows {
+		for j := 0; j < p; j++ {
+			d := r[j] - mean[j]
+			variance[j] += d * d
+		}
+	}
+	out := make([]linalg.Vector, len(rows))
+	scale := make(linalg.Vector, p)
+	for j := 0; j < p; j++ {
+		v := variance[j] / float64(len(rows))
+		if v > 1e-18 {
+			scale[j] = 1 / math.Sqrt(v)
+		} else {
+			scale[j] = 1
+		}
+	}
+	for i, r := range rows {
+		z := make(linalg.Vector, p)
+		for j := 0; j < p; j++ {
+			z[j] = (r[j] - mean[j]) * scale[j]
+		}
+		out[i] = z
+	}
+	return out
+}
+
+// NumImages returns the collection size.
+func (ds *Dataset) NumImages() int { return len(ds.Color) }
+
+// Feature selects a feature space by name.
+type Feature int
+
+const (
+	// ColorMoments selects the reduced color-moment vectors.
+	ColorMoments Feature = iota
+	// CooccurrenceTexture selects the reduced texture vectors.
+	CooccurrenceTexture
+	// Combined selects the concatenation of the two reduced features
+	// (each sub-feature re-standardized so neither dominates) — the
+	// multi-feature retrieval mode of systems like MARS. The paper
+	// evaluates the features separately; this space is provided as an
+	// extension.
+	Combined
+)
+
+// String implements fmt.Stringer.
+func (f Feature) String() string {
+	switch f {
+	case ColorMoments:
+		return "color-moments"
+	case CooccurrenceTexture:
+		return "cooccurrence-texture"
+	default:
+		return "combined"
+	}
+}
+
+// Vectors returns the reduced vectors of the chosen feature space. The
+// Combined space is materialized lazily and cached.
+func (ds *Dataset) Vectors(f Feature) []linalg.Vector {
+	switch f {
+	case ColorMoments:
+		return ds.Color
+	case CooccurrenceTexture:
+		return ds.Texture
+	default:
+		if ds.combined == nil {
+			ds.combined = concatStandardized(ds.Color, ds.Texture)
+		}
+		return ds.combined
+	}
+}
+
+// concatStandardized z-scores each input space per component and
+// concatenates row-wise.
+func concatStandardized(a, b []linalg.Vector) []linalg.Vector {
+	sa, sb := standardize(a), standardize(b)
+	out := make([]linalg.Vector, len(a))
+	for i := range out {
+		v := make(linalg.Vector, 0, sa[i].Dim()+sb[i].Dim())
+		v = append(v, sa[i]...)
+		v = append(v, sb[i]...)
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/imagegen"
+)
+
+func smallConfig() Config {
+	return Config{
+		Collection: imagegen.CollectionConfig{
+			Seed: 1, NumCategories: 6, ImagesPerCategory: 12, ImageSize: 24,
+			Themes: 3, BimodalFrac: 0.3,
+		},
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumImages() != 72 {
+		t.Fatalf("NumImages = %d", ds.NumImages())
+	}
+	if len(ds.Color) != 72 || len(ds.Texture) != 72 {
+		t.Fatal("reduced feature counts wrong")
+	}
+	if ds.Color[0].Dim() != 3 {
+		t.Errorf("color dim = %d, want 3", ds.Color[0].Dim())
+	}
+	if ds.Texture[0].Dim() != 4 {
+		t.Errorf("texture dim = %d, want 4", ds.Texture[0].Dim())
+	}
+	if ds.RawColor[0].Dim() != 10 || ds.RawTexture[0].Dim() != 16 {
+		t.Error("raw dims wrong")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Color {
+		if !a.Color[i].Equal(b.Color[i], 1e-12) {
+			t.Fatalf("image %d color features differ across identical builds", i)
+		}
+	}
+}
+
+func TestCategoryCoherenceInReducedSpace(t *testing.T) {
+	// Mean intra-category distance must be below mean cross-category
+	// distance in the reduced color space — otherwise retrieval by
+	// category is impossible and the whole evaluation would be vacuous.
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < ds.NumImages(); i++ {
+		for j := i + 1; j < ds.NumImages(); j++ {
+			d := ds.Color[i].Dist(ds.Color[j])
+			if ds.Col.Label(i) == ds.Col.Label(j) {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra >= inter {
+		t.Errorf("intra %v >= inter %v in reduced color space", intra, inter)
+	}
+}
+
+func TestVectorsSelector(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ds.Vectors(ColorMoments)[0][0] != &ds.Color[0][0] {
+		t.Error("Vectors(ColorMoments) must alias Color")
+	}
+	if &ds.Vectors(CooccurrenceTexture)[0][0] != &ds.Texture[0][0] {
+		t.Error("Vectors(CooccurrenceTexture) must alias Texture")
+	}
+	if ColorMoments.String() == CooccurrenceTexture.String() {
+		t.Error("feature names must differ")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf, cfg.Collection); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumImages() != ds.NumImages() {
+		t.Fatalf("NumImages %d != %d", back.NumImages(), ds.NumImages())
+	}
+	for i := range ds.Color {
+		if !back.Color[i].Equal(ds.Color[i], 0) {
+			t.Fatal("color vectors corrupted")
+		}
+	}
+	if back.Col.Label(40) != ds.Col.Label(40) {
+		t.Error("labels corrupted")
+	}
+	// The restored PCA must project identically.
+	p1 := ds.ColorPCA.Project(ds.RawColor[5], 3)
+	p2 := back.ColorPCA.Project(ds.RawColor[5], 3)
+	if !p1.Equal(p2, 1e-12) {
+		t.Error("restored PCA projects differently")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/snap.gob"
+	if err := ds.SaveFile(path, cfg.Collection); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumImages() != ds.NumImages() {
+		t.Errorf("NumImages %d != %d", back.NumImages(), ds.NumImages())
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.gob"); err == nil {
+		t.Error("LoadFile on a missing path must error")
+	}
+}
+
+func TestStandardizeProperties(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduced color vectors come from standardized raw features, so
+	// their per-component sample means are ~0 (PCA of centered data).
+	dim := ds.Color[0].Dim()
+	sums := make([]float64, dim)
+	for _, v := range ds.Color {
+		for j := 0; j < dim; j++ {
+			sums[j] += v[j]
+		}
+	}
+	for j := 0; j < dim; j++ {
+		if m := sums[j] / float64(len(ds.Color)); m > 1e-6 || m < -1e-6 {
+			t.Errorf("component %d mean = %v, want ≈0", j, m)
+		}
+	}
+}
+
+func TestCombinedFeature(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := ds.Vectors(Combined)
+	if len(comb) != ds.NumImages() {
+		t.Fatalf("combined length = %d", len(comb))
+	}
+	if comb[0].Dim() != ds.Color[0].Dim()+ds.Texture[0].Dim() {
+		t.Errorf("combined dim = %d", comb[0].Dim())
+	}
+	// Cached on second call.
+	if &ds.Vectors(Combined)[0][0] != &comb[0][0] {
+		t.Error("combined space must be cached")
+	}
+	// Each half standardized: per-component variance ≈ 1.
+	dim := comb[0].Dim()
+	for j := 0; j < dim; j++ {
+		var sum, sq float64
+		for _, v := range comb {
+			sum += v[j]
+			sq += v[j] * v[j]
+		}
+		n := float64(len(comb))
+		variance := sq/n - (sum/n)*(sum/n)
+		if variance < 0.5 || variance > 1.5 {
+			t.Errorf("component %d variance = %v, want ≈1", j, variance)
+		}
+	}
+	if Combined.String() != "combined" {
+		t.Error("Combined.String mismatch")
+	}
+}

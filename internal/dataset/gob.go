@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/imagegen"
+	"repro/internal/linalg"
+	"repro/internal/pca"
+)
+
+// snapshot is the gob wire format of a built dataset. Rendering and
+// extracting features for a large collection takes minutes; cmd/qgen
+// builds once and the benchmarks reload in milliseconds.
+type snapshot struct {
+	CollectionCfg imagegen.CollectionConfig
+	Color         []linalg.Vector
+	Texture       []linalg.Vector
+	RawColor      []linalg.Vector
+	RawTexture    []linalg.Vector
+	ColorPCA      pcaSnapshot
+	TexturePCA    pcaSnapshot
+}
+
+type pcaSnapshot struct {
+	Mean        linalg.Vector
+	Components  *linalg.Matrix
+	Eigenvalues linalg.Vector
+}
+
+// Save writes the dataset (features + PCA, not rasters) to w. The
+// originating collection config must be supplied so Load can rebuild the
+// label structure deterministically.
+func (ds *Dataset) Save(w io.Writer, cfg imagegen.CollectionConfig) error {
+	snap := snapshot{
+		CollectionCfg: cfg,
+		Color:         ds.Color,
+		Texture:       ds.Texture,
+		RawColor:      ds.RawColor,
+		RawTexture:    ds.RawTexture,
+		ColorPCA:      toPCASnapshot(ds.ColorPCA),
+		TexturePCA:    toPCASnapshot(ds.TexturePCA),
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	col := imagegen.NewCollection(snap.CollectionCfg)
+	if col.NumImages() != len(snap.Color) {
+		return nil, fmt.Errorf("dataset: snapshot has %d vectors but config yields %d images",
+			len(snap.Color), col.NumImages())
+	}
+	return &Dataset{
+		Col:        col,
+		Color:      snap.Color,
+		Texture:    snap.Texture,
+		RawColor:   snap.RawColor,
+		RawTexture: snap.RawTexture,
+		ColorPCA:   fromPCASnapshot(snap.ColorPCA),
+		TexturePCA: fromPCASnapshot(snap.TexturePCA),
+	}, nil
+}
+
+// SaveFile writes the dataset snapshot to path.
+func (ds *Dataset) SaveFile(path string, cfg imagegen.CollectionConfig) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.Save(f, cfg); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset snapshot from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func toPCASnapshot(p *pca.PCA) pcaSnapshot {
+	return pcaSnapshot{Mean: p.Mean, Components: p.Components, Eigenvalues: p.Eigenvalues}
+}
+
+func fromPCASnapshot(s pcaSnapshot) *pca.PCA {
+	return pca.Restore(s.Mean, s.Components, s.Eigenvalues)
+}

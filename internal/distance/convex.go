@@ -1,0 +1,52 @@
+package distance
+
+import "repro/internal/linalg"
+
+// ConvexCombination is the weighted arithmetic mean of per-representative
+// distances: d(Q,x) = Σ (m_i/M) d_i(x). This is the aggregate used by the
+// MARS query-expansion baseline — because it is a convex combination of
+// convex quadratics, its equi-distance contour is one convex region
+// covering all representatives (contrast with Disjunctive, whose contours
+// stay disjoint).
+type ConvexCombination struct {
+	Parts   []*Quadratic
+	Weights []float64
+	total   float64
+}
+
+// NewConvexCombination builds the weighted-mean aggregate.
+func NewConvexCombination(parts []*Quadratic, weights []float64) *ConvexCombination {
+	if len(parts) == 0 || len(parts) != len(weights) {
+		panic("distance: parts/weights mismatch")
+	}
+	var total float64
+	for _, w := range weights {
+		if w <= 0 {
+			panic("distance: non-positive weight")
+		}
+		total += w
+	}
+	return &ConvexCombination{Parts: parts, Weights: weights, total: total}
+}
+
+// Dim returns the dimensionality.
+func (c *ConvexCombination) Dim() int { return c.Parts[0].Dim() }
+
+// Eval returns the weighted mean of the part distances.
+func (c *ConvexCombination) Eval(x linalg.Vector) float64 {
+	var s float64
+	for i, p := range c.Parts {
+		s += c.Weights[i] * p.Eval(x)
+	}
+	return s / c.total
+}
+
+// LowerBound substitutes per-part lower bounds; the weighted mean is
+// monotone increasing in every part, so this is a valid bound.
+func (c *ConvexCombination) LowerBound(lo, hi linalg.Vector) float64 {
+	var s float64
+	for i, p := range c.Parts {
+		s += c.Weights[i] * p.LowerBound(lo, hi)
+	}
+	return s / c.total
+}

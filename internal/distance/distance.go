@@ -1,0 +1,298 @@
+// Package distance implements the query distance functions of the paper
+// and its baselines: the per-cluster quadratic form (Eq. 1), the weighted
+// aggregate disjunctive distance (Eq. 5) that Qcluster searches with, the
+// general aggregate form (Eq. 4), FALCON's fuzzy-OR aggregate and MARS'
+// weighted Euclidean distance. Every distance also provides a lower bound
+// over an axis-aligned rectangle so the k-NN index can prune subtrees
+// (the MINDIST of best-first search).
+package distance
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/linalg"
+)
+
+// Metric is a query-to-point distance with a rectangle lower bound for
+// index pruning. Lower bounds must never exceed the true minimum of Eval
+// over the rectangle; tighter is faster, looser is still correct.
+type Metric interface {
+	// Eval returns the (squared) distance from the query to x.
+	Eval(x linalg.Vector) float64
+	// LowerBound returns a value <= min over all x in [lo, hi] of Eval(x).
+	LowerBound(lo, hi linalg.Vector) float64
+	// Dim returns the feature dimensionality.
+	Dim() int
+}
+
+// epsilonDist guards divisions in the fuzzy-OR aggregates: a point that
+// coincides with a representative has distance 0 and must dominate.
+const epsilonDist = 1e-12
+
+// Euclidean is the plain squared Euclidean distance to a single point.
+type Euclidean struct {
+	Center linalg.Vector
+}
+
+// Eval returns ||x - center||².
+func (e *Euclidean) Eval(x linalg.Vector) float64 { return e.Center.SqDist(x) }
+
+// Dim returns the dimensionality.
+func (e *Euclidean) Dim() int { return e.Center.Dim() }
+
+// LowerBound returns the exact squared distance from the rectangle to the
+// center (MINDIST).
+func (e *Euclidean) LowerBound(lo, hi linalg.Vector) float64 {
+	var s float64
+	for i, c := range e.Center {
+		switch {
+		case c < lo[i]:
+			d := lo[i] - c
+			s += d * d
+		case c > hi[i]:
+			d := c - hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// Quadratic is the per-cluster generalized distance of Eq. 1:
+// d²(x) = (x - center)' W (x - center) with W = S⁻¹. The diagonal scheme
+// stores only the inverse diagonal (fast path); the full scheme keeps the
+// complete inverse plus its smallest eigenvalue for rectangle bounds.
+type Quadratic struct {
+	Center  linalg.Vector
+	invDiag linalg.Vector  // diagonal scheme
+	invFull *linalg.Matrix // full scheme
+	lambda  float64        // λ_min(W) for the full-scheme lower bound
+	scratch linalg.Vector  // reusable difference buffer
+}
+
+// NewQuadraticDiag builds the diagonal-scheme quadratic distance. invDiag
+// holds 1/σ²_j per dimension (MARS-style re-weighting).
+func NewQuadraticDiag(center, invDiag linalg.Vector) *Quadratic {
+	if center.Dim() != invDiag.Dim() {
+		panic("distance: dimension mismatch")
+	}
+	return &Quadratic{Center: center.Clone(), invDiag: invDiag.Clone()}
+}
+
+// NewQuadraticFull builds the full inverse-matrix quadratic distance
+// (MindReader-style).
+func NewQuadraticFull(center linalg.Vector, inv *linalg.Matrix) *Quadratic {
+	if center.Dim() != inv.Rows || !inv.IsSquare() {
+		panic("distance: dimension mismatch")
+	}
+	vals, _ := linalg.EigenSym(inv)
+	lambda := vals[len(vals)-1]
+	if lambda < 0 {
+		lambda = 0
+	}
+	return &Quadratic{Center: center.Clone(), invFull: inv.Clone(), lambda: lambda}
+}
+
+// FromCluster builds the quadratic distance of a query cluster under the
+// given covariance scheme.
+func FromCluster(c *cluster.Cluster, scheme cluster.Scheme) *Quadratic {
+	if scheme == cluster.Diagonal {
+		return NewQuadraticDiag(c.Mean, c.InverseDiag())
+	}
+	return NewQuadraticFull(c.Mean, c.InverseCov(cluster.FullInverse))
+}
+
+// Dim returns the dimensionality.
+func (q *Quadratic) Dim() int { return q.Center.Dim() }
+
+// Eval returns (x-c)' W (x-c).
+func (q *Quadratic) Eval(x linalg.Vector) float64 {
+	if q.invDiag != nil {
+		var s float64
+		for i, c := range q.Center {
+			d := x[i] - c
+			s += d * d * q.invDiag[i]
+		}
+		return s
+	}
+	q.scratch = x.SubInto(q.scratch, q.Center)
+	return q.invFull.QuadForm(q.scratch)
+}
+
+// LowerBound returns a lower bound of Eval over [lo, hi]. For the
+// diagonal scheme the bound is exact (per-dimension clamping); for the
+// full scheme it is λ_min(W) times the squared Euclidean MINDIST, a valid
+// bound since (x-c)'W(x-c) >= λ_min ||x-c||².
+func (q *Quadratic) LowerBound(lo, hi linalg.Vector) float64 {
+	if q.invDiag != nil {
+		var s float64
+		for i, c := range q.Center {
+			var d float64
+			switch {
+			case c < lo[i]:
+				d = lo[i] - c
+			case c > hi[i]:
+				d = c - hi[i]
+			}
+			s += d * d * q.invDiag[i]
+		}
+		return s
+	}
+	var s float64
+	for i, c := range q.Center {
+		switch {
+		case c < lo[i]:
+			d := lo[i] - c
+			s += d * d
+		case c > hi[i]:
+			d := c - hi[i]
+			s += d * d
+		}
+	}
+	return q.lambda * s
+}
+
+// Disjunctive is the paper's aggregate distance (Eq. 5):
+// d²_disj(Q, x) = Σm_i / Σ_i [ m_i / d²_i(x) ],
+// a weighted harmonic-style fuzzy OR over per-cluster quadratic forms:
+// the closest cluster dominates, so contours around disjoint clusters
+// stay disjoint (Example 3 / Fig. 5).
+type Disjunctive struct {
+	Parts   []*Quadratic
+	Weights []float64 // m_i, the per-cluster relevance mass
+	total   float64   // Σ m_i
+}
+
+// NewDisjunctive builds the aggregate distance over per-cluster parts.
+func NewDisjunctive(parts []*Quadratic, weights []float64) *Disjunctive {
+	if len(parts) == 0 || len(parts) != len(weights) {
+		panic("distance: parts/weights mismatch")
+	}
+	var total float64
+	for _, w := range weights {
+		if w <= 0 {
+			panic("distance: non-positive cluster weight")
+		}
+		total += w
+	}
+	return &Disjunctive{Parts: parts, Weights: weights, total: total}
+}
+
+// FromClusters builds Eq. 5 for a set of query clusters under a scheme,
+// with m_i = cluster weights (sums of relevance scores). Each cluster's
+// covariance is shrunk toward the pooled covariance of the whole set
+// (prior strength dim+1, see cluster.ShrunkCov) so the per-cluster
+// quadratic forms share one scale — required for the fuzzy-OR aggregate
+// to rank across clusters sensibly when some clusters are young.
+func FromClusters(cs []*cluster.Cluster, scheme cluster.Scheme) *Disjunctive {
+	return FromClustersShrunk(cs, scheme, float64(dimOf(cs)+1))
+}
+
+// FromClustersShrunk is FromClusters with an explicit shrinkage prior
+// strength tau; tau = 0 uses each cluster's raw sample covariance (the
+// paper's Eq. 5 read literally — exposed for ablation studies).
+func FromClustersShrunk(cs []*cluster.Cluster, scheme cluster.Scheme, tau float64) *Disjunctive {
+	if len(cs) == 0 {
+		panic("distance: no clusters")
+	}
+	pooled := cluster.PooledAll(cs)
+	parts := make([]*Quadratic, len(cs))
+	ws := make([]float64, len(cs))
+	for i, c := range cs {
+		cov := cluster.ShrunkCov(c, pooled, tau)
+		if scheme == cluster.Diagonal {
+			parts[i] = NewQuadraticDiag(c.Mean, cluster.InverseDiagOf(cov))
+		} else {
+			parts[i] = NewQuadraticFull(c.Mean, cluster.InverseOf(cov, cluster.FullInverse))
+		}
+		ws[i] = c.Weight
+	}
+	return NewDisjunctive(parts, ws)
+}
+
+func dimOf(cs []*cluster.Cluster) int {
+	if len(cs) == 0 {
+		return 0
+	}
+	return cs[0].Dim()
+}
+
+// Dim returns the dimensionality.
+func (d *Disjunctive) Dim() int { return d.Parts[0].Dim() }
+
+// Eval computes Eq. 5. A point coinciding with any representative yields
+// distance ~0.
+func (d *Disjunctive) Eval(x linalg.Vector) float64 {
+	var denom float64
+	for i, p := range d.Parts {
+		di := p.Eval(x)
+		if di < epsilonDist {
+			di = epsilonDist
+		}
+		denom += d.Weights[i] / di
+	}
+	return d.total / denom
+}
+
+// LowerBound substitutes per-part rectangle lower bounds into Eq. 5.
+// Because the aggregate is monotone increasing in every d_i, replacing
+// each d_i by a value <= its minimum over the rectangle yields a valid
+// lower bound of the aggregate over the rectangle.
+func (d *Disjunctive) LowerBound(lo, hi linalg.Vector) float64 {
+	var denom float64
+	for i, p := range d.Parts {
+		di := p.LowerBound(lo, hi)
+		if di < epsilonDist {
+			di = epsilonDist
+		}
+		denom += d.Weights[i] / di
+	}
+	return d.total / denom
+}
+
+// Aggregate is the general aggregate dissimilarity of Eq. 4:
+// d_agg(Q,x)^α-mean = ( (1/g) Σ d_i(x)^α )^(1/α). Negative α mimics a
+// fuzzy OR (the smallest distance dominates); FALCON uses this form over
+// all relevant points. Parts may be any Metric.
+type Aggregate struct {
+	Parts []Metric
+	Alpha float64
+}
+
+// NewAggregate builds the α-mean aggregate. Alpha must be nonzero.
+func NewAggregate(parts []Metric, alpha float64) *Aggregate {
+	if len(parts) == 0 {
+		panic("distance: no parts")
+	}
+	if alpha == 0 {
+		panic("distance: alpha must be nonzero")
+	}
+	return &Aggregate{Parts: parts, Alpha: alpha}
+}
+
+// Dim returns the dimensionality.
+func (a *Aggregate) Dim() int { return a.Parts[0].Dim() }
+
+// Eval computes the α-mean of the part distances.
+func (a *Aggregate) Eval(x linalg.Vector) float64 {
+	return a.combine(func(m Metric) float64 { return m.Eval(x) })
+}
+
+// LowerBound substitutes part lower bounds; the α-mean is monotone
+// increasing in each part distance for any α ≠ 0, so this is valid.
+func (a *Aggregate) LowerBound(lo, hi linalg.Vector) float64 {
+	return a.combine(func(m Metric) float64 { return m.LowerBound(lo, hi) })
+}
+
+func (a *Aggregate) combine(f func(Metric) float64) float64 {
+	var s float64
+	for _, p := range a.Parts {
+		d := f(p)
+		if d < epsilonDist {
+			d = epsilonDist
+		}
+		s += math.Pow(d, a.Alpha)
+	}
+	s /= float64(len(a.Parts))
+	return math.Pow(s, 1/a.Alpha)
+}

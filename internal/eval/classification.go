@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"math/rand"
+
+	"repro/internal/classify"
+	"repro/internal/cluster"
+	"repro/internal/linalg"
+	"repro/internal/pca"
+	"repro/internal/synth"
+)
+
+// ClassificationConfig parameterizes the synthetic classification
+// accuracy sweep of Figs. 14-17: 3 Gaussian clusters in ℝ¹⁶, PCA-reduced
+// to each target dimension, inter-cluster distance varied 0.5-2.5.
+type ClassificationConfig struct {
+	Shape  synth.Shape
+	Scheme cluster.Scheme
+	// Dims are the PCA target dimensionalities (paper: 12, 9, 6, 3).
+	Dims []int
+	// InterDists are the center separations (paper: 0.5 .. 2.5).
+	InterDists []float64
+	// PointsPerCluster sizes each cluster (default 30).
+	PointsPerCluster int
+	// Trials averages the error rate over repetitions (default 10).
+	Trials int
+	Seed   int64
+}
+
+func (c ClassificationConfig) withDefaults() ClassificationConfig {
+	if len(c.Dims) == 0 {
+		c.Dims = []int{12, 9, 6, 3}
+	}
+	if len(c.InterDists) == 0 {
+		c.InterDists = []float64{0.5, 1.0, 1.5, 2.0, 2.5}
+	}
+	if c.PointsPerCluster <= 0 {
+		c.PointsPerCluster = 30
+	}
+	if c.Trials <= 0 {
+		c.Trials = 10
+	}
+	return c
+}
+
+// ClassificationResult holds the error-rate grid: Err[di][ii] is the mean
+// error rate at Dims[di] and InterDists[ii].
+type ClassificationResult struct {
+	Config ClassificationConfig
+	Err    [][]float64
+}
+
+// RunClassification performs the sweep. For each trial it draws the
+// 16-dimensional mixture, fits PCA on the pooled sample, projects to the
+// target dimension, builds the three clusters from the labelled points
+// and measures the leave-one-out misclassification rate of the Bayesian
+// classifier (Sec. 4.5) under the configured covariance scheme.
+func RunClassification(cfg ClassificationConfig) ClassificationResult {
+	cfg = cfg.withDefaults()
+	res := ClassificationResult{Config: cfg}
+	res.Err = make([][]float64, len(cfg.Dims))
+	for di := range cfg.Dims {
+		res.Err[di] = make([]float64, len(cfg.InterDists))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.Trials; t++ {
+		for ii, dist := range cfg.InterDists {
+			pts := synth.GaussianClusters(rng, synth.ClusterSpec{
+				Dim:              16,
+				NumClusters:      3,
+				PointsPerCluster: cfg.PointsPerCluster,
+				InterDist:        dist,
+				Shape:            cfg.Shape,
+			})
+			fitted, err := pca.Fit(vectorsOf(pts))
+			if err != nil {
+				panic(err)
+			}
+			for di, dim := range cfg.Dims {
+				cs := make([]*cluster.Cluster, 3)
+				for label := 0; label < 3; label++ {
+					cs[label] = cluster.New(dim)
+				}
+				for i, p := range pts {
+					cs[p.Label].Add(cluster.Point{
+						ID:    i,
+						Vec:   fitted.Project(p.Vec, dim),
+						Score: 1,
+					})
+				}
+				e := classify.ErrorRate(cs, classify.Options{Scheme: cfg.Scheme})
+				res.Err[di][ii] += e
+			}
+		}
+	}
+	for di := range res.Err {
+		for ii := range res.Err[di] {
+			res.Err[di][ii] /= float64(cfg.Trials)
+		}
+	}
+	return res
+}
+
+func vectorsOf(pts []synth.LabeledPoint) []linalg.Vector {
+	out := make([]linalg.Vector, len(pts))
+	for i, p := range pts {
+		out[i] = p.Vec
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/linalg"
+	"repro/internal/rf"
+)
+
+// ConvergenceResult quantifies the paper's second experimental goal —
+// "test that the proposed Qcluster algorithm converges to the user's
+// true information needs fast" — with three per-iteration series.
+type ConvergenceResult struct {
+	// RecallGain[i] is the mean recall improvement from iteration i-1 to
+	// i (index 0 unused). Fast convergence = a large first entry and a
+	// rapidly vanishing tail.
+	RecallGain []float64
+	// ResultChurn[i] is the mean fraction of the top-k that changed
+	// between iterations i-1 and i; a converged query re-retrieves the
+	// same set.
+	ResultChurn []float64
+	// ModelDrift[i] is the mean movement of the query representatives
+	// between iterations (sum over clusters of nearest-centroid
+	// distances, normalized by the feature-space scale).
+	ModelDrift []float64
+}
+
+// RunConvergence measures Qcluster's convergence on the image
+// collection.
+func RunConvergence(cfg RetrievalConfig) ConvergenceResult {
+	wl := cfg.workload().withDefaults()
+	vecs := cfg.DS.Vectors(cfg.Feature)
+	store, err := index.NewStore(vecs)
+	if err != nil {
+		panic(err)
+	}
+	tree := index.NewHybridTree(store, index.TreeOptions{})
+
+	labels := cfg.DS.Col.Labels()
+	themes := make([]int, len(cfg.DS.Col.Categories))
+	for i, cat := range cfg.DS.Col.Categories {
+		themes[i] = cat.Theme
+	}
+	oracle := rf.NewOracle(labels, themes)
+	if wl.RelatedScore < 0 {
+		oracle.RelatedScore = 0
+	} else if wl.RelatedScore > 0 {
+		oracle.RelatedScore = wl.RelatedScore
+	}
+
+	rng := rand.New(rand.NewSource(wl.Seed))
+	iters := wl.Iterations + 1
+	res := ConvergenceResult{
+		RecallGain:  make([]float64, iters),
+		ResultChurn: make([]float64, iters),
+		ModelDrift:  make([]float64, iters),
+	}
+	scale := featureScale(vecs)
+
+	for q := 0; q < wl.NumQueries; q++ {
+		qid := rng.Intn(store.Len())
+		qcat := labels[qid]
+		total := oracle.CategorySize(qcat)
+
+		engine := rf.NewQcluster(core.Options{})
+		session := &rf.Session{
+			Engine: engine, Searcher: tree, Oracle: oracle,
+			Vec: store.Vector, K: wl.K,
+		}
+		// Run manually so the representatives are observable per round.
+		engine.Init(store.Vector(qid))
+		var prevIDs map[int]bool
+		var prevRecall float64
+		var prevReps []linalg.Vector
+		for it := 0; it < iters; it++ {
+			results, _ := session.Searcher.KNN(engine.Metric(), wl.K)
+			ids := resultIDs(results)
+			_, recall := PrecisionRecall(ids, func(id int) bool {
+				return oracle.Relevant(qcat, id)
+			}, wl.K, total)
+
+			if it > 0 {
+				res.RecallGain[it] += recall - prevRecall
+				res.ResultChurn[it] += churn(prevIDs, ids)
+				if engine.Model() != nil {
+					reps := engine.Model().Representatives()
+					res.ModelDrift[it] += repDrift(prevReps, reps) / scale
+					prevReps = reps
+				}
+			} else if engine.Model() != nil {
+				prevReps = engine.Model().Representatives()
+			}
+			prevRecall = recall
+			prevIDs = make(map[int]bool, len(ids))
+			for _, id := range ids {
+				prevIDs[id] = true
+			}
+			if it < iters-1 {
+				engine.Feedback(oracle.Mark(qcat, ids, store.Vector))
+			}
+		}
+	}
+	n := float64(wl.NumQueries)
+	for i := range res.RecallGain {
+		res.RecallGain[i] /= n
+		res.ResultChurn[i] /= n
+		res.ModelDrift[i] /= n
+	}
+	return res
+}
+
+// churn returns the fraction of cur not present in prev.
+func churn(prev map[int]bool, cur []int) float64 {
+	if len(cur) == 0 {
+		return 0
+	}
+	changed := 0
+	for _, id := range cur {
+		if !prev[id] {
+			changed++
+		}
+	}
+	return float64(changed) / float64(len(cur))
+}
+
+// repDrift sums, over current representatives, the distance to the
+// nearest previous representative (0 when there was no previous model).
+func repDrift(prev, cur []linalg.Vector) float64 {
+	if len(prev) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cur {
+		best := math.Inf(1)
+		for _, p := range prev {
+			if d := c.Dist(p); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum
+}
+
+// featureScale estimates the feature-space scale as the RMS distance of
+// vectors from their mean, for normalizing drift values.
+func featureScale(vecs []linalg.Vector) float64 {
+	if len(vecs) == 0 {
+		return 1
+	}
+	mean := linalg.NewVector(vecs[0].Dim())
+	for _, v := range vecs {
+		mean.AddScaled(1, v)
+	}
+	mean = mean.Scale(1 / float64(len(vecs)))
+	var s float64
+	for _, v := range vecs {
+		s += v.SqDist(mean)
+	}
+	s = math.Sqrt(s / float64(len(vecs)))
+	if s == 0 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+// Package eval implements the paper's Section-5 evaluation: precision and
+// recall metrics, the retrieval-quality and execution-cost experiments
+// over the image collection (Figs. 6-13), the synthetic classification
+// accuracy sweeps (Figs. 14-17), the Hotelling-T² accuracy studies
+// (Tables 2-3, Figs. 18-19) and the disjunctive-query demonstration of
+// Example 3 (Fig. 5). Each driver returns plain data that cmd/qbench and
+// the benchmark harness render.
+package eval
+
+// PrecisionRecall computes precision and recall of a ranked result
+// prefix: hits among the first `scope` results over scope (precision) and
+// over totalRelevant (recall).
+func PrecisionRecall(ids []int, relevant func(int) bool, scope, totalRelevant int) (p, r float64) {
+	if scope > len(ids) {
+		scope = len(ids)
+	}
+	hits := 0
+	for _, id := range ids[:scope] {
+		if relevant(id) {
+			hits++
+		}
+	}
+	if scope > 0 {
+		p = float64(hits) / float64(scope)
+	}
+	if totalRelevant > 0 {
+		r = float64(hits) / float64(totalRelevant)
+	}
+	return p, r
+}
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	Scope     int
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes the precision-recall curve over every scope 1..len —
+// the per-iteration lines of Figs. 8-9 ("each line is drawn with 100
+// points, each of which shows precision and recall as the number of
+// retrieved images increases from 1 to 100").
+func PRCurve(ids []int, relevant func(int) bool, totalRelevant int) []PRPoint {
+	out := make([]PRPoint, len(ids))
+	hits := 0
+	for i, id := range ids {
+		if relevant(id) {
+			hits++
+		}
+		scope := i + 1
+		out[i] = PRPoint{
+			Scope:     scope,
+			Precision: float64(hits) / float64(scope),
+		}
+		if totalRelevant > 0 {
+			out[i].Recall = float64(hits) / float64(totalRelevant)
+		}
+	}
+	return out
+}
+
+// MeanCurves averages per-query PR curves pointwise. All curves must
+// share one length.
+func MeanCurves(curves [][]PRPoint) []PRPoint {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	out := make([]PRPoint, n)
+	for i := 0; i < n; i++ {
+		out[i].Scope = curves[0][i].Scope
+		for _, c := range curves {
+			out[i].Precision += c[i].Precision
+			out[i].Recall += c[i].Recall
+		}
+		out[i].Precision /= float64(len(curves))
+		out[i].Recall /= float64(len(curves))
+	}
+	return out
+}

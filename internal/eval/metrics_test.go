@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func isRel(rel map[int]bool) func(int) bool {
+	return func(id int) bool { return rel[id] }
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	ids := []int{1, 2, 3, 4, 5}
+	rel := isRel(map[int]bool{1: true, 3: true, 9: true})
+	p, r := PrecisionRecall(ids, rel, 5, 3)
+	if math.Abs(p-0.4) > 1e-12 || math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("p=%v r=%v", p, r)
+	}
+	// Scope shorter than results.
+	p, r = PrecisionRecall(ids, rel, 1, 3)
+	if p != 1 || math.Abs(r-1.0/3) > 1e-12 {
+		t.Errorf("scope1: p=%v r=%v", p, r)
+	}
+	// Scope beyond results clamps.
+	p, _ = PrecisionRecall(ids, rel, 100, 3)
+	if math.Abs(p-0.4) > 1e-12 {
+		t.Errorf("clamped p=%v", p)
+	}
+	// Degenerate inputs.
+	if p, r := PrecisionRecall(nil, rel, 0, 0); p != 0 || r != 0 {
+		t.Error("degenerate inputs must give zeros")
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	ids := []int{1, 2, 3}
+	rel := isRel(map[int]bool{1: true, 3: true})
+	c := PRCurve(ids, rel, 2)
+	if len(c) != 3 {
+		t.Fatalf("len = %d", len(c))
+	}
+	// scope 1: hit → p=1, r=0.5
+	if c[0].Precision != 1 || c[0].Recall != 0.5 {
+		t.Errorf("c[0] = %+v", c[0])
+	}
+	// scope 2: 1 hit of 2 → p=0.5, r=0.5
+	if c[1].Precision != 0.5 || c[1].Recall != 0.5 {
+		t.Errorf("c[1] = %+v", c[1])
+	}
+	// scope 3: 2 hits of 3 → p=2/3, r=1
+	if math.Abs(c[2].Precision-2.0/3) > 1e-12 || c[2].Recall != 1 {
+		t.Errorf("c[2] = %+v", c[2])
+	}
+	// Recall is nondecreasing in scope.
+	for i := 1; i < len(c); i++ {
+		if c[i].Recall < c[i-1].Recall {
+			t.Error("recall must be nondecreasing")
+		}
+	}
+}
+
+func TestMeanCurves(t *testing.T) {
+	a := []PRPoint{{Scope: 1, Precision: 1, Recall: 0.2}}
+	b := []PRPoint{{Scope: 1, Precision: 0, Recall: 0.4}}
+	m := MeanCurves([][]PRPoint{a, b})
+	if m[0].Precision != 0.5 || math.Abs(m[0].Recall-0.3) > 1e-12 {
+		t.Errorf("m = %+v", m[0])
+	}
+	if MeanCurves(nil) != nil {
+		t.Error("MeanCurves(nil) must be nil")
+	}
+}

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"math/rand"
+
+	"repro/internal/index"
+	"repro/internal/rf"
+)
+
+// ModalityBreakdown splits an engine's final-iteration recall by query
+// difficulty class: queries whose ground-truth category is unimodal
+// ("simple") versus multi-variant ("complex"). The paper's thesis lives
+// entirely in the complex column.
+type ModalityBreakdown struct {
+	Name                          string
+	SimpleRecall, ComplexRecall   float64
+	SimpleQueries, ComplexQueries int
+}
+
+// RunModalityImage computes the breakdown over the image collection.
+func RunModalityImage(cfg RetrievalConfig, mk func() rf.Engine) ModalityBreakdown {
+	wl := cfg.workload().withDefaults()
+	vecs := cfg.DS.Vectors(cfg.Feature)
+	store, err := index.NewStore(vecs)
+	if err != nil {
+		panic(err)
+	}
+	tree := index.NewHybridTree(store, index.TreeOptions{})
+
+	labels := cfg.DS.Col.Labels()
+	themes := make([]int, len(cfg.DS.Col.Categories))
+	for i, cat := range cfg.DS.Col.Categories {
+		themes[i] = cat.Theme
+	}
+	oracle := rf.NewOracle(labels, themes)
+	switch {
+	case wl.RelatedScore < 0:
+		oracle.RelatedScore = 0
+	case wl.RelatedScore > 0:
+		oracle.RelatedScore = wl.RelatedScore
+	}
+
+	rng := rand.New(rand.NewSource(wl.Seed))
+	var out ModalityBreakdown
+	for q := 0; q < wl.NumQueries; q++ {
+		qid := rng.Intn(store.Len())
+		qcat := labels[qid]
+		total := oracle.CategorySize(qcat)
+		engine := mk()
+		if out.Name == "" {
+			out.Name = engine.Name()
+		}
+		session := &rf.Session{
+			Engine: engine, Searcher: tree, Oracle: oracle,
+			Vec: store.Vector, K: wl.K,
+		}
+		iters := session.Run(qid, qcat, wl.Iterations)
+		ids := resultIDs(iters[len(iters)-1].Results)
+		_, recall := PrecisionRecall(ids, func(id int) bool {
+			return oracle.Relevant(qcat, id)
+		}, wl.K, total)
+
+		if cfg.DS.Col.Categories[qcat].Bimodal() {
+			out.ComplexRecall += recall
+			out.ComplexQueries++
+		} else {
+			out.SimpleRecall += recall
+			out.SimpleQueries++
+		}
+	}
+	if out.SimpleQueries > 0 {
+		out.SimpleRecall /= float64(out.SimpleQueries)
+	}
+	if out.ComplexQueries > 0 {
+		out.ComplexRecall /= float64(out.ComplexQueries)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/index"
+	"repro/internal/linalg"
+	"repro/internal/rf"
+	"repro/internal/stat"
+)
+
+// PairedComparison is the outcome of running two engines on the SAME
+// query sequence and comparing their final-iteration recall per query —
+// a paired design, so query difficulty cancels out and the significance
+// of the mean difference can be assessed with a paired t test.
+type PairedComparison struct {
+	NameA, NameB string
+	// MeanA and MeanB are final-iteration recalls averaged over queries.
+	MeanA, MeanB float64
+	// MeanDiff = mean(recallA - recallB) per query.
+	MeanDiff float64
+	// TStat is the paired t statistic of the differences; PValue is the
+	// two-sided p-value under t_{n-1}.
+	TStat, PValue float64
+	// Queries is the number of paired observations.
+	Queries int
+}
+
+// RunPaired evaluates two engine families on identical query ids over
+// the given vectors/labels/themes (use the image-collection accessors or
+// a vector world) and returns the paired comparison of final recalls.
+func RunPaired(cfg WorkloadConfig, vecs []linalg.Vector, labels, themes, queryPool []int,
+	mkA, mkB func() rf.Engine) PairedComparison {
+	cfg = cfg.withDefaults()
+	store, err := index.NewStore(vecs)
+	if err != nil {
+		panic(err)
+	}
+	var searcherFor func() index.Searcher
+	if cfg.UseIndex {
+		tree := index.NewHybridTree(store, index.TreeOptions{})
+		searcherFor = func() index.Searcher { return tree }
+	} else {
+		scan := index.NewLinearScan(store)
+		searcherFor = func() index.Searcher { return scan }
+	}
+	oracle := rf.NewOracle(labels, themes)
+	switch {
+	case cfg.RelatedScore < 0:
+		oracle.RelatedScore = 0
+	case cfg.RelatedScore > 0:
+		oracle.RelatedScore = cfg.RelatedScore
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	diffs := make([]float64, 0, cfg.NumQueries)
+	var sumA, sumB float64
+	var out PairedComparison
+
+	finalRecall := func(mk func() rf.Engine, qid, qcat, total int) float64 {
+		engine := mk()
+		if out.NameA == "" {
+			out.NameA = engine.Name()
+		} else if out.NameB == "" && engine.Name() != out.NameA {
+			out.NameB = engine.Name()
+		}
+		session := &rf.Session{
+			Engine: engine, Searcher: searcherFor(), Oracle: oracle,
+			Vec: store.Vector, K: cfg.K,
+		}
+		iters := session.Run(qid, qcat, cfg.Iterations)
+		ids := resultIDs(iters[len(iters)-1].Results)
+		_, r := PrecisionRecall(ids, func(id int) bool {
+			return oracle.Relevant(qcat, id)
+		}, cfg.K, total)
+		return r
+	}
+
+	for q := 0; q < cfg.NumQueries; q++ {
+		qid := queryPool[rng.Intn(len(queryPool))]
+		qcat := labels[qid]
+		total := oracle.CategorySize(qcat)
+		ra := finalRecall(mkA, qid, qcat, total)
+		rb := finalRecall(mkB, qid, qcat, total)
+		sumA += ra
+		sumB += rb
+		diffs = append(diffs, ra-rb)
+	}
+
+	n := float64(len(diffs))
+	out.Queries = len(diffs)
+	out.MeanA = sumA / n
+	out.MeanB = sumB / n
+	out.MeanDiff = stat.Mean(diffs)
+	sd := math.Sqrt(stat.SampleVariance(diffs))
+	if sd > 0 && n > 1 {
+		out.TStat = out.MeanDiff / (sd / math.Sqrt(n))
+		// Two-sided p-value under t with n-1 degrees of freedom.
+		out.PValue = 2 * (1 - stat.StudentTCDF(math.Abs(out.TStat), n-1))
+	} else {
+		out.PValue = 1
+		if out.MeanDiff != 0 {
+			out.PValue = 0 // identical nonzero difference on every query
+		}
+	}
+	return out
+}
+
+// RunPairedImage is RunPaired over the image collection.
+func RunPairedImage(cfg RetrievalConfig, mkA, mkB func() rf.Engine) PairedComparison {
+	labels := cfg.DS.Col.Labels()
+	themes := make([]int, len(cfg.DS.Col.Categories))
+	for i, cat := range cfg.DS.Col.Categories {
+		themes[i] = cat.Theme
+	}
+	vecs := cfg.DS.Vectors(cfg.Feature)
+	pool := make([]int, len(vecs))
+	for i := range pool {
+		pool[i] = i
+	}
+	return RunPaired(cfg.workload(), vecs, labels, themes, pool, mkA, mkB)
+}

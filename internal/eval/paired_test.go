@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rf"
+)
+
+func TestRunPairedSelfComparisonIsNull(t *testing.T) {
+	// An engine compared against itself must show zero mean difference
+	// and a p-value of 1 (no variance in the differences).
+	ds := testDataset(t)
+	cfg := RetrievalConfig{
+		DS: ds, Feature: dataset.ColorMoments,
+		NumQueries: 6, Iterations: 2, K: 20, Seed: 4, UseIndex: true,
+	}
+	mk := func() rf.Engine { return rf.NewQPM() }
+	out := RunPairedImage(cfg, mk, mk)
+	if out.MeanDiff != 0 {
+		t.Errorf("self-comparison MeanDiff = %v", out.MeanDiff)
+	}
+	if out.PValue < 0.99 {
+		t.Errorf("self-comparison p-value = %v, want 1", out.PValue)
+	}
+	if out.Queries != 6 {
+		t.Errorf("Queries = %d", out.Queries)
+	}
+	if out.MeanA != out.MeanB {
+		t.Errorf("MeanA %v != MeanB %v on self comparison", out.MeanA, out.MeanB)
+	}
+}
+
+func TestRunPairedDetectsRealDifference(t *testing.T) {
+	// Qcluster vs QEX on the complex-query vector world: a genuine
+	// difference should come out with a small p-value given enough
+	// queries.
+	wcfg := VectorWorldConfig{Seed: 3, NumCategories: 16, PerCategory: 60}
+	w := BuildVectorWorld(wcfg)
+	var pool []int
+	for id, l := range w.Labels {
+		if l < w.NumCategories && w.ComplexCategory(wcfg, l) {
+			pool = append(pool, id)
+		}
+	}
+	cfg := WorkloadConfig{
+		NumQueries: 24, Iterations: 3, K: 100, Seed: 5,
+		UseIndex: true, RelatedScore: -1,
+	}
+	out := RunPaired(cfg, w.Vectors, w.Labels, w.Themes, pool,
+		func() rf.Engine { return rf.NewQcluster(core.Options{}) },
+		func() rf.Engine { return rf.NewQEX(5) },
+	)
+	if out.NameA != "Qcluster" || out.NameB != "QEX" {
+		t.Errorf("names = %q, %q", out.NameA, out.NameB)
+	}
+	if out.MeanDiff <= 0 {
+		t.Errorf("Qcluster - QEX mean diff = %v, want > 0", out.MeanDiff)
+	}
+	if out.PValue > 0.05 {
+		t.Errorf("p-value = %v for a real difference over %d queries", out.PValue, out.Queries)
+	}
+}
+
+func TestRunModalityImage(t *testing.T) {
+	ds := testDataset(t)
+	cfg := RetrievalConfig{
+		DS: ds, Feature: dataset.ColorMoments,
+		NumQueries: 8, Iterations: 2, K: 20, Seed: 6,
+	}
+	b := RunModalityImage(cfg, func() rf.Engine { return rf.NewQcluster(core.Options{}) })
+	if b.SimpleQueries+b.ComplexQueries != 8 {
+		t.Errorf("query split %d + %d != 8", b.SimpleQueries, b.ComplexQueries)
+	}
+	if b.SimpleRecall < 0 || b.SimpleRecall > 1 || b.ComplexRecall < 0 || b.ComplexRecall > 1 {
+		t.Errorf("recalls out of range: %v %v", b.SimpleRecall, b.ComplexRecall)
+	}
+	if b.Name != "Qcluster" {
+		t.Errorf("Name = %q", b.Name)
+	}
+}

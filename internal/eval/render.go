@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSeriesTable formats per-iteration series for several engines as
+// an aligned text table: one row per iteration, one column per engine.
+func RenderSeriesTable(title, valueName string, series []EngineSeries, pick func(EngineSeries) []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s", "iteration")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", valueName)
+	if len(series) == 0 {
+		return b.String()
+	}
+	n := len(pick(series[0]))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-10d", i)
+		for _, s := range series {
+			fmt.Fprintf(&b, " %14.4f", pick(s)[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderPRCurves formats per-iteration precision-recall curves, sampled
+// at a handful of scopes to stay readable.
+func RenderPRCurves(title string, curves [][]PRPoint, scopes []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s %-6s", "iter", "scope")
+	fmt.Fprintf(&b, " %10s %10s\n", "precision", "recall")
+	for it, curve := range curves {
+		for _, s := range scopes {
+			if s < 1 || s > len(curve) {
+				continue
+			}
+			p := curve[s-1]
+			fmt.Fprintf(&b, "%-6d %-6d %10.4f %10.4f\n", it, p.Scope, p.Precision, p.Recall)
+		}
+	}
+	return b.String()
+}
+
+// RenderClassification formats the error-rate grid of Figs. 14-17.
+func RenderClassification(title string, res ClassificationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s", "inter-dist")
+	for _, d := range res.Config.Dims {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("dim=%d", d))
+	}
+	b.WriteString("   (error rate)\n")
+	for ii, dist := range res.Config.InterDists {
+		fmt.Fprintf(&b, "%-12.2f", dist)
+		for di := range res.Config.Dims {
+			fmt.Fprintf(&b, " %8.4f", res.Err[di][ii])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderT2Table formats Table 2/3 rows.
+func RenderT2Table(title string, rows []T2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-5s %-10s %-10s %-11s %-10s\n",
+		"dim", "var-ratio", "avg-T2", "quantile-F", "error(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5d %-10.3f %-10.2f %-11.2f %-10.1f\n",
+			r.Dim, r.VariationRatio, r.AvgT2, r.QuantileF, r.ErrorRatio)
+	}
+	return b.String()
+}
+
+// RenderQQ formats Q-Q plot data (sampled every `step` points).
+func RenderQQ(title string, pts []QQPoint, step int) string {
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-12s %-12s %s\n", "idx", "T2", "c2", "verdict")
+	for i := 0; i < len(pts); i += step {
+		p := pts[i]
+		verdict := "merge (T2<=c2)"
+		if p.T2 > p.C2 {
+			verdict = "separate"
+		}
+		fmt.Fprintf(&b, "%-8d %-12.3f %-12.3f %s\n", i, p.T2, p.C2, verdict)
+	}
+	return b.String()
+}
+
+// RenderExample3 formats the Fig. 5 demonstration.
+func RenderExample3(r Example3Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Example 3 / Fig. 5: disjunctive query over a uniform cube\n")
+	fmt.Fprintf(&b, "points generated:           %d\n", r.TotalPoints)
+	fmt.Fprintf(&b, "within 1.0 of either corner: %d (paper: 820)\n", r.WithinRadius)
+	fmt.Fprintf(&b, "retrieved by Eq.5 ranking:   %d\n", len(r.Retrieved))
+	fmt.Fprintf(&b, "  near (-1,-1,-1): %d\n", r.PerCenter[0])
+	fmt.Fprintf(&b, "  near ( 1, 1, 1): %d\n", r.PerCenter[1])
+	return b.String()
+}

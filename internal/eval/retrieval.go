@@ -1,0 +1,265 @@
+package eval
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/linalg"
+	"repro/internal/rf"
+)
+
+// WorkloadConfig holds the engine-independent retrieval workload
+// parameters shared by the image-collection and vector-world experiments.
+type WorkloadConfig struct {
+	// NumQueries random initial queries are averaged (paper: 100).
+	NumQueries int
+	// Iterations of feedback after the initial query (paper: 5).
+	Iterations int
+	// K is the result size (paper: 100).
+	K int
+	// Seed drives the query selection.
+	Seed int64
+	// UseIndex selects the hybrid tree (true) or a linear scan (false).
+	UseIndex bool
+	// UseRefinementCache seeds each iteration's search from the previous
+	// iteration's visited leaves (the multipoint caching of Fig. 7);
+	// only meaningful with UseIndex.
+	UseRefinementCache bool
+	// RelatedScore is the oracle score for related-category images.
+	// Zero means the default (1, the paper's graded judgement); negative
+	// restricts feedback to same-category images (score 0).
+	RelatedScore float64
+	// Parallel runs query sessions across GOMAXPROCS workers. Results
+	// are identical to the serial run (sessions are independent and
+	// reduced in query order), but per-iteration CPU-time measurements
+	// become unreliable — leave it off for the timing experiments
+	// (Figs. 6-7).
+	Parallel bool
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.NumQueries <= 0 {
+		c.NumQueries = 100
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.K <= 0 {
+		c.K = 100
+	}
+	return c
+}
+
+// RetrievalConfig parameterizes the image-collection experiments.
+type RetrievalConfig struct {
+	DS      *dataset.Dataset
+	Feature dataset.Feature
+	// NumQueries random initial queries are averaged (paper: 100).
+	NumQueries int
+	// Iterations of feedback after the initial query (paper: 5).
+	Iterations int
+	// K is the result size (paper: 100).
+	K int
+	// Seed drives the query selection.
+	Seed int64
+	// UseIndex selects the hybrid tree (true) or a linear scan (false).
+	UseIndex bool
+	// UseRefinementCache seeds each iteration's search from the previous
+	// iteration's visited leaves; only meaningful with UseIndex.
+	UseRefinementCache bool
+	// RelatedScore is the oracle score for related-category images
+	// (see WorkloadConfig.RelatedScore).
+	RelatedScore float64
+}
+
+func (c RetrievalConfig) workload() WorkloadConfig {
+	return WorkloadConfig{
+		NumQueries: c.NumQueries, Iterations: c.Iterations, K: c.K,
+		Seed: c.Seed, UseIndex: c.UseIndex,
+		UseRefinementCache: c.UseRefinementCache,
+		RelatedScore:       c.RelatedScore,
+	}
+}
+
+// EngineSeries is the per-iteration averaged outcome for one engine —
+// the rows behind Figs. 6-13.
+type EngineSeries struct {
+	Name string
+	// Recall[i] and Precision[i] are at full scope K for iteration i
+	// (i = 0 is the initial query), averaged over queries.
+	Recall    []float64
+	Precision []float64
+	// CPUMillis[i] is the mean wall-clock retrieval time per iteration.
+	CPUMillis []float64
+	// DistanceEvals and NodesVisited are mean index work per iteration.
+	DistanceEvals []float64
+	NodesVisited  []float64
+	// QueryPoints is the mean number of query representatives.
+	QueryPoints []float64
+	// Curves[i] is the mean precision-recall curve of iteration i
+	// (scope 1..K) — the lines of Figs. 8-9.
+	Curves [][]PRPoint
+}
+
+// RunRetrieval evaluates one engine family over the image-collection
+// workload. mkEngine must return a fresh engine per query session.
+func RunRetrieval(cfg RetrievalConfig, mkEngine func() rf.Engine) EngineSeries {
+	labels := cfg.DS.Col.Labels()
+	themes := make([]int, len(cfg.DS.Col.Categories))
+	for i, cat := range cfg.DS.Col.Categories {
+		themes[i] = cat.Theme
+	}
+	vecs := cfg.DS.Vectors(cfg.Feature)
+	pool := make([]int, len(vecs))
+	for i := range pool {
+		pool[i] = i
+	}
+	return runWorkload(cfg.workload(), vecs, labels, themes, pool, mkEngine)
+}
+
+// RunVectorRetrieval evaluates one engine family over a controlled
+// vector world. When onlyComplex is true, queries are drawn only from
+// the multi-mode categories — the paper's "complex image query" case.
+func RunVectorRetrieval(cfg WorkloadConfig, w *VectorWorld, wcfg VectorWorldConfig, onlyComplex bool, mkEngine func() rf.Engine) EngineSeries {
+	var pool []int
+	for id, l := range w.Labels {
+		if l >= w.NumCategories {
+			continue // clutter is never a query
+		}
+		if onlyComplex && !w.ComplexCategory(wcfg, l) {
+			continue
+		}
+		pool = append(pool, id)
+	}
+	return runWorkload(cfg, w.Vectors, w.Labels, w.Themes, pool, mkEngine)
+}
+
+// runWorkload is the shared evaluation loop.
+func runWorkload(cfg WorkloadConfig, vecs []linalg.Vector, labels, themes, queryPool []int, mkEngine func() rf.Engine) EngineSeries {
+	cfg = cfg.withDefaults()
+	store, err := index.NewStore(vecs)
+	if err != nil {
+		panic(err)
+	}
+	var tree *index.HybridTree
+	if cfg.UseIndex {
+		tree = index.NewHybridTree(store, index.TreeOptions{})
+	}
+
+	oracle := rf.NewOracle(labels, themes)
+	switch {
+	case cfg.RelatedScore < 0:
+		oracle.RelatedScore = 0
+	case cfg.RelatedScore > 0:
+		oracle.RelatedScore = cfg.RelatedScore
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queryIDs := make([]int, cfg.NumQueries)
+	for i := range queryIDs {
+		queryIDs[i] = queryPool[rng.Intn(len(queryPool))]
+	}
+
+	iters := cfg.Iterations + 1
+	out := EngineSeries{
+		Recall:        make([]float64, iters),
+		Precision:     make([]float64, iters),
+		CPUMillis:     make([]float64, iters),
+		DistanceEvals: make([]float64, iters),
+		NodesVisited:  make([]float64, iters),
+		QueryPoints:   make([]float64, iters),
+	}
+	curvesByIter := make([][][]PRPoint, iters)
+
+	// Each query session is independent; run them (optionally in
+	// parallel) into a per-query slot, then reduce in query order so the
+	// output is bit-identical either way.
+	perQuery := make([][]rf.Iteration, len(queryIDs))
+	runOne := func(qi int) {
+		qid := queryIDs[qi]
+		engine := mkEngine()
+		var searcher index.Searcher
+		switch {
+		case tree != nil && cfg.UseRefinementCache:
+			searcher = index.NewRefinementSearcher(tree)
+		case tree != nil:
+			searcher = tree
+		default:
+			searcher = index.NewLinearScan(store)
+		}
+		session := &rf.Session{
+			Engine:   engine,
+			Searcher: searcher,
+			Oracle:   oracle,
+			Vec:      store.Vector,
+			K:        cfg.K,
+		}
+		perQuery[qi] = session.Run(qid, labels[qid], cfg.Iterations)
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for qi := range work {
+					runOne(qi)
+				}
+			}()
+		}
+		for qi := range queryIDs {
+			work <- qi
+		}
+		close(work)
+		wg.Wait()
+	} else {
+		for qi := range queryIDs {
+			runOne(qi)
+		}
+	}
+	out.Name = mkEngine().Name()
+
+	for qi, results := range perQuery {
+		qcat := labels[queryIDs[qi]]
+		total := oracle.CategorySize(qcat)
+		for i, it := range results {
+			ids := resultIDs(it.Results)
+			rel := func(id int) bool { return oracle.Relevant(qcat, id) }
+			p, r := PrecisionRecall(ids, rel, cfg.K, total)
+			out.Precision[i] += p
+			out.Recall[i] += r
+			out.CPUMillis[i] += float64(it.Elapsed) / float64(time.Millisecond)
+			out.DistanceEvals[i] += float64(it.Stats.DistanceEvals)
+			out.NodesVisited[i] += float64(it.Stats.NodesVisited)
+			out.QueryPoints[i] += float64(it.QueryPoints)
+			curvesByIter[i] = append(curvesByIter[i], PRCurve(ids, rel, total))
+		}
+	}
+	n := float64(cfg.NumQueries)
+	for i := 0; i < iters; i++ {
+		out.Recall[i] /= n
+		out.Precision[i] /= n
+		out.CPUMillis[i] /= n
+		out.DistanceEvals[i] /= n
+		out.NodesVisited[i] /= n
+		out.QueryPoints[i] /= n
+	}
+	out.Curves = make([][]PRPoint, iters)
+	for i := range curvesByIter {
+		out.Curves[i] = MeanCurves(curvesByIter[i])
+	}
+	return out
+}
+
+func resultIDs(rs []index.Result) []int {
+	ids := make([]int, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}

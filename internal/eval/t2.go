@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/linalg"
+	"repro/internal/pca"
+	"repro/internal/stat"
+	"repro/internal/synth"
+)
+
+// T2Config parameterizes the Hotelling-T² accuracy studies behind
+// Tables 2-3 and the Q-Q plots of Figs. 18-19: pairs of size-30 clusters
+// drawn in ℝ¹⁶ (elliptical, so the PCA spectrum decays like the paper's
+// variation-ratio column), PCA-projected to each target dimension.
+type T2Config struct {
+	// SameMean selects the H0-true study (Table 2) or the
+	// different-means study (Table 3).
+	SameMean bool
+	Scheme   cluster.Scheme
+	// Dims are the PCA target dimensionalities (paper: 12, 9, 6, 3).
+	Dims []int
+	// Pairs is the number of cluster pairs (paper: 100).
+	Pairs int
+	// N is the per-cluster size (paper: 30).
+	N int
+	// MeanDist separates the centers when SameMean is false.
+	MeanDist float64
+	// Alpha is the test significance level (paper: 0.05).
+	Alpha float64
+	Seed  int64
+}
+
+func (c T2Config) withDefaults() T2Config {
+	if len(c.Dims) == 0 {
+		c.Dims = []int{12, 9, 6, 3}
+	}
+	if c.Pairs <= 0 {
+		c.Pairs = 100
+	}
+	if c.N <= 0 {
+		c.N = 30
+	}
+	if c.MeanDist <= 0 {
+		c.MeanDist = 4.5
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.05
+	}
+	return c
+}
+
+// T2Row is one row of Table 2/3. Following the paper's tables, the T²
+// column is reported on the F scale — T² · (m-p-1)/(p(m-2)) — so that it
+// compares directly against the quantile-F critical value (under H0 its
+// mean is ≈ 1, matching the paper's 0.44-1.03 same-mean values).
+type T2Row struct {
+	Dim int
+	// VariationRatio is the proportion of total variation covered by the
+	// first Dim principal components.
+	VariationRatio float64
+	// AvgT2 is the mean F-scaled T² statistic over the pairs.
+	AvgT2 float64
+	// QuantileF is the paper's "quantile-F" column: the upper 95th
+	// percentile F_{p, n-p}(0.05) for n = 2N objects.
+	QuantileF float64
+	// ErrorRatio is the percentage of wrong merge decisions: rejecting
+	// H0 for same-mean pairs, or accepting it for different-mean pairs.
+	ErrorRatio float64
+}
+
+// RunT2 produces the rows of Table 2 (SameMean) or Table 3 (!SameMean)
+// under the configured scheme.
+func RunT2(cfg T2Config) []T2Row {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	rows := make([]T2Row, len(cfg.Dims))
+	for i, dim := range cfg.Dims {
+		rows[i].Dim = dim
+	}
+	n := float64(2 * cfg.N)
+	for i, dim := range cfg.Dims {
+		rows[i].QuantileF = stat.FQuantile(1-cfg.Alpha, float64(dim), n-float64(dim))
+	}
+	for p := 0; p < cfg.Pairs; p++ {
+		a, b := synth.ClusterPair(rng, synth.PairSpec{
+			Dim: 16, N: cfg.N,
+			SameMean: cfg.SameMean, MeanDist: cfg.MeanDist,
+			Shape: synth.Elliptical,
+		})
+		fitted, err := pca.Fit(append(append([]linalg.Vector{}, a...), b...))
+		if err != nil {
+			panic(err)
+		}
+		for i, dim := range cfg.Dims {
+			ca, cb := clusterOf(fitted, a, dim), clusterOf(fitted, b, dim)
+			t2 := cluster.T2(ca, cb, cfg.Scheme)
+			// F scale: under H0, scaled ~ F(p, m-p-1).
+			p64 := float64(dim)
+			scaled := t2 * (n - p64 - 1) / (p64 * (n - 2))
+			rows[i].AvgT2 += scaled
+			rows[i].VariationRatio += fitted.VarianceRatio(dim)
+			merge := scaled <= rows[i].QuantileF
+			wrong := (cfg.SameMean && !merge) || (!cfg.SameMean && merge)
+			if wrong {
+				rows[i].ErrorRatio++
+			}
+		}
+	}
+	for i := range cfg.Dims {
+		rows[i].AvgT2 /= float64(cfg.Pairs)
+		rows[i].VariationRatio /= float64(cfg.Pairs)
+		rows[i].ErrorRatio *= 100 / float64(cfg.Pairs)
+	}
+	return rows
+}
+
+func clusterOf(fitted *pca.PCA, vecs []linalg.Vector, dim int) *cluster.Cluster {
+	c := cluster.New(dim)
+	for i, v := range vecs {
+		c.Add(cluster.Point{ID: i, Vec: fitted.Project(v, dim), Score: 1})
+	}
+	return c
+}
+
+// QQPoint pairs an ordered T² value with an ordered critical distance —
+// one point of the quantile-quantile plots of Figs. 18-19.
+type QQPoint struct {
+	T2 float64
+	C2 float64
+	// SameMean records which population the (unordered) pair at this
+	// index came from, for series labelling.
+	SameMean bool
+}
+
+// RunQQ generates the Q-Q plot data of Figs. 18-19: half the pairs share
+// a mean, half differ; T² values (F-scaled) are computed under the
+// scheme; critical distances come from random F draws (Eq. 20), both
+// sorted ascending and rank-paired. The returned threshold is the actual
+// decision critical value — the upper 95th percentile of F — against
+// which the merge test compares each statistic.
+func RunQQ(scheme cluster.Scheme, pairs, dim int, seed int64) ([]QQPoint, float64) {
+	if pairs%2 != 0 {
+		pairs++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const fullDim = 16
+	n := 30
+
+	m := float64(2 * n)
+	fScale := (m - float64(dim) - 1) / (float64(dim) * (m - 2))
+
+	t2s := make([]float64, 0, pairs)
+	same := make([]bool, 0, pairs)
+	for p := 0; p < pairs; p++ {
+		sameMean := p < pairs/2
+		a, b := synth.ClusterPair(rng, synth.PairSpec{
+			Dim: fullDim, N: n,
+			SameMean: sameMean, MeanDist: 4.5,
+			Shape: synth.Elliptical,
+		})
+		fitted, err := pca.Fit(append(append([]linalg.Vector{}, a...), b...))
+		if err != nil {
+			panic(err)
+		}
+		ca, cb := clusterOf(fitted, a, dim), clusterOf(fitted, b, dim)
+		// F-scaled, as in Tables 2-3, so the critical distances below are
+		// plain random-F draws (Eq. 20).
+		t2s = append(t2s, fScale*cluster.T2(ca, cb, scheme))
+		same = append(same, sameMean)
+	}
+
+	// Critical distances from random F draws (Eq. 20).
+	c2s := make([]float64, pairs)
+	for i := range c2s {
+		c2s[i] = stat.RandomF(rng, dim, int(m)-dim-1)
+	}
+
+	// Order both ascending and pair them.
+	type tagged struct {
+		v    float64
+		same bool
+	}
+	tt := make([]tagged, pairs)
+	for i := range tt {
+		tt[i] = tagged{t2s[i], same[i]}
+	}
+	sort.Slice(tt, func(i, j int) bool { return tt[i].v < tt[j].v })
+	sort.Float64s(c2s)
+	out := make([]QQPoint, pairs)
+	for i := range out {
+		out[i] = QQPoint{T2: tt[i].v, C2: c2s[i], SameMean: tt[i].same}
+	}
+	return out, stat.FQuantile(0.95, float64(dim), m-float64(dim)-1)
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rf"
+)
+
+func TestBuildVectorWorldLayout(t *testing.T) {
+	cfg := VectorWorldConfig{Seed: 1, NumCategories: 10, PerCategory: 30}
+	w := BuildVectorWorld(cfg)
+	if w.NumCategories != 10 {
+		t.Fatalf("NumCategories = %d", w.NumCategories)
+	}
+	counts := map[int]int{}
+	for _, l := range w.Labels {
+		counts[l]++
+	}
+	for cat := 0; cat < 10; cat++ {
+		if counts[cat] != 30 {
+			t.Errorf("category %d has %d points", cat, counts[cat])
+		}
+	}
+	// Complex categories (first half) contribute clutter under the
+	// shared clutter label.
+	if counts[10] != 5*cfg.withDefaults().ClutterPerCategory {
+		t.Errorf("clutter count = %d", counts[10])
+	}
+	if len(w.Vectors) != len(w.Labels) {
+		t.Error("vectors/labels length mismatch")
+	}
+	// Complexity predicate: first half complex.
+	if !w.ComplexCategory(cfg, 0) || w.ComplexCategory(cfg, 9) {
+		t.Error("ComplexCategory cutoff wrong")
+	}
+}
+
+func TestBuildVectorWorldDeterministic(t *testing.T) {
+	cfg := VectorWorldConfig{Seed: 2, NumCategories: 6, PerCategory: 10}
+	a := BuildVectorWorld(cfg)
+	b := BuildVectorWorld(cfg)
+	for i := range a.Vectors {
+		if !a.Vectors[i].Equal(b.Vectors[i], 0) {
+			t.Fatal("world not deterministic")
+		}
+	}
+}
+
+func TestVectorWorldComplexQueryAdvantage(t *testing.T) {
+	// On the controlled disjoint-mode geometry, Qcluster must beat the
+	// single-contour baselines on complex queries — the paper's headline
+	// phenomenon in its cleanest form.
+	wcfg := VectorWorldConfig{Seed: 3, NumCategories: 16, PerCategory: 60}
+	w := BuildVectorWorld(wcfg)
+	cfg := WorkloadConfig{
+		NumQueries: 16, Iterations: 4, K: 100,
+		Seed: 5, UseIndex: true, RelatedScore: -1,
+	}
+	qc := RunVectorRetrieval(cfg, w, wcfg, true, func() rf.Engine {
+		return rf.NewQcluster(core.Options{})
+	})
+	qpm := RunVectorRetrieval(cfg, w, wcfg, true, func() rf.Engine {
+		return rf.NewQPM()
+	})
+	last := len(qc.Recall) - 1
+	if qc.Recall[last] <= qpm.Recall[last] {
+		t.Errorf("Qcluster %.3f <= QPM %.3f on complex queries",
+			qc.Recall[last], qpm.Recall[last])
+	}
+	// Multipoint actually engaged.
+	if qc.QueryPoints[last] < 1.5 {
+		t.Errorf("mean query points = %.2f, want > 1.5", qc.QueryPoints[last])
+	}
+}

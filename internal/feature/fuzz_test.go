@@ -1,0 +1,65 @@
+package feature
+
+import (
+	"image"
+	"image/color"
+	"math"
+	"testing"
+)
+
+// FuzzRGBToHSV checks the HSV conversion's range invariants over the
+// whole 24-bit RGB cube sampled by the fuzzer.
+func FuzzRGBToHSV(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(255), uint8(255), uint8(255))
+	f.Add(uint8(255), uint8(0), uint8(0))
+	f.Add(uint8(17), uint8(200), uint8(90))
+	f.Fuzz(func(t *testing.T, r, g, b uint8) {
+		h, s, v := RGBToHSV(r, g, b)
+		if h < 0 || h >= 360 || math.IsNaN(h) {
+			t.Fatalf("h = %v out of [0,360)", h)
+		}
+		if s < 0 || s > 1 || v < 0 || v > 1 {
+			t.Fatalf("s = %v, v = %v out of [0,1]", s, v)
+		}
+		// Value is max(r,g,b)/255 by definition.
+		max := r
+		if g > max {
+			max = g
+		}
+		if b > max {
+			max = b
+		}
+		if math.Abs(v-float64(max)/255) > 1e-12 {
+			t.Fatalf("v = %v, want %v", v, float64(max)/255)
+		}
+	})
+}
+
+// FuzzColorMoments checks that the feature extractor never produces
+// non-finite components, whatever the (tiny) image contents.
+func FuzzColorMoments(f *testing.F) {
+	f.Add(uint8(10), uint8(20), uint8(30), uint8(200), uint8(100), uint8(0))
+	f.Fuzz(func(t *testing.T, r1, g1, b1, r2, g2, b2 uint8) {
+		img := image.NewRGBA(image.Rect(0, 0, 4, 4))
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				if (x+y)%2 == 0 {
+					img.SetRGBA(x, y, color.RGBA{r1, g1, b1, 255})
+				} else {
+					img.SetRGBA(x, y, color.RGBA{r2, g2, b2, 255})
+				}
+			}
+		}
+		for i, v := range ColorMoments(img) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("component %d is %v", i, v)
+			}
+		}
+		for i, v := range TextureFeatures(img) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("texture component %d is %v", i, v)
+			}
+		}
+	})
+}

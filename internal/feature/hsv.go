@@ -1,0 +1,75 @@
+// Package feature extracts the paper's two visual features from images:
+// HSV color moments (mean, standard deviation, skewness per channel — 9
+// values, reduced to 3 by PCA in the retrieval pipeline) and gray-level
+// co-occurrence matrix texture (16 Haralick-style statistics, reduced to
+// 4 by PCA). Both operate on arbitrary image.Image rasters.
+package feature
+
+import (
+	"image"
+	"math"
+)
+
+// RGBToHSV converts 8-bit RGB to HSV with h in [0, 360), s and v in
+// [0, 1]. The paper uses HSV "because of its perceptual uniformity of
+// color".
+func RGBToHSV(r, g, b uint8) (h, s, v float64) {
+	rf, gf, bf := float64(r)/255, float64(g)/255, float64(b)/255
+	max := math.Max(rf, math.Max(gf, bf))
+	min := math.Min(rf, math.Min(gf, bf))
+	v = max
+	delta := max - min
+	if max > 0 {
+		s = delta / max
+	}
+	if delta == 0 {
+		return 0, s, v
+	}
+	switch max {
+	case rf:
+		h = 60 * math.Mod((gf-bf)/delta, 6)
+	case gf:
+		h = 60 * ((bf-rf)/delta + 2)
+	default:
+		h = 60 * ((rf-gf)/delta + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	return h, s, v
+}
+
+// hsvPixels walks the image once and returns the three channel planes.
+func hsvPixels(img image.Image) (hs, ss, vs []float64) {
+	b := img.Bounds()
+	n := b.Dx() * b.Dy()
+	hs = make([]float64, 0, n)
+	ss = make([]float64, 0, n)
+	vs = make([]float64, 0, n)
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bl, _ := img.At(x, y).RGBA()
+			h, s, v := RGBToHSV(uint8(r>>8), uint8(g>>8), uint8(bl>>8))
+			hs = append(hs, h)
+			ss = append(ss, s)
+			vs = append(vs, v)
+		}
+	}
+	return hs, ss, vs
+}
+
+// Gray returns the 8-bit luminance plane of the image (ITU-R BT.601
+// weights), the input to the co-occurrence texture feature.
+func Gray(img image.Image) ([]uint8, int, int) {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	out := make([]uint8, 0, w*h)
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bl, _ := img.At(x, y).RGBA()
+			lum := 0.299*float64(r>>8) + 0.587*float64(g>>8) + 0.114*float64(bl>>8)
+			out = append(out, uint8(lum+0.5))
+		}
+	}
+	return out, w, h
+}

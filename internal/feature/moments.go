@@ -1,0 +1,95 @@
+package feature
+
+import (
+	"image"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stat"
+)
+
+// ColorMomentsDim is the raw color-moment dimensionality. The paper uses
+// 3 moments × 3 HSV channels = 9; because the hue mean is a circular
+// quantity (any scalar embedding has a discontinuity at the 0°/360° seam,
+// which destabilizes retrieval for red-dominated images), this
+// implementation encodes the hue mean as its cosine and sine — 10 raw
+// values, reduced to 3 by PCA exactly as in the paper.
+const ColorMomentsDim = 10
+
+// ColorMoments extracts the color-moment vector:
+//
+//	[cos μ_H, sin μ_H, σ_H, skew_H, μ_S, σ_S, skew_S, μ_V, σ_V, skew_V]
+//
+// where the hue dispersion moments are computed on wrapped deviations
+// from the dominant hue lobe (see alignHueCircular) and scaled by 1/360,
+// so every component lives in a comparable O(1) range before PCA.
+func ColorMoments(img image.Image) linalg.Vector {
+	hs, ss, vs := hsvPixels(img)
+	alignHueCircular(hs)
+	for i := range hs {
+		hs[i] /= 360
+	}
+	hueMeanDeg := stat.Mean(hs) * 360 // reference + mean deviation, degrees
+	rad := hueMeanDeg * math.Pi / 180
+	out := make(linalg.Vector, 0, ColorMomentsDim)
+	out = append(out, math.Cos(rad), math.Sin(rad), stat.StdDev(hs), stat.Skewness(hs))
+	for _, ch := range [][]float64{ss, vs} {
+		out = append(out, stat.Mean(ch), stat.StdDev(ch), stat.Skewness(ch))
+	}
+	return out
+}
+
+// alignHueCircular rewrites the hue samples (degrees) as
+// reference + wrappedDeviation, with the deviation in (-180, 180], so
+// linear moments of the result are stable across the 0°/360° seam, and
+// returns the reference angle.
+//
+// The reference is NOT the global circular mean: for images with two hue
+// populations (subject vs background) the circular mean is ill-defined
+// when the populations nearly cancel, which makes the moments jump
+// between renditions of the same scene. Instead the reference is the
+// dominant hue lobe — the mode of a coarse hue histogram, refined by the
+// circular mean of the samples within ±60° of that mode. The dominant
+// lobe is stable as long as one hue population holds a plurality.
+func alignHueCircular(hs []float64) (reference float64) {
+	const bins = 36
+	var hist [bins]float64
+	for _, h := range hs {
+		b := int(h / (360 / bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b]++
+	}
+	mode := 0
+	for b := 1; b < bins; b++ {
+		if hist[b] > hist[mode] {
+			mode = b
+		}
+	}
+	modeDeg := (float64(mode) + 0.5) * 360 / bins
+
+	// Refine: circular mean of the dominant lobe only.
+	var sinSum, cosSum float64
+	for _, h := range hs {
+		d := math.Mod(h-modeDeg+540, 360) - 180
+		if d < -60 || d > 60 {
+			continue
+		}
+		r := h * math.Pi / 180
+		sinSum += math.Sin(r)
+		cosSum += math.Cos(r)
+	}
+	ref := modeDeg
+	if sinSum != 0 || cosSum != 0 {
+		ref = math.Atan2(sinSum, cosSum) * 180 / math.Pi
+		if ref < 0 {
+			ref += 360
+		}
+	}
+	for i, h := range hs {
+		d := math.Mod(h-ref+540, 360) - 180
+		hs[i] = ref + d
+	}
+	return ref
+}

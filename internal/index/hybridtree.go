@@ -1,0 +1,252 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/linalg"
+)
+
+// HybridTree is a hierarchical index in the style of Chakrabarti &
+// Mehrotra's hybrid tree, the structure the paper indexes its feature
+// vectors with. Like the hybrid tree (and unlike R-trees), internal nodes
+// split on a single dimension, so fanout does not degrade with
+// dimensionality; like feature-based indexes, every node keeps the
+// bounding box of the live space beneath it, which gives the best-first
+// search tight MINDIST lower bounds.
+//
+// The tree is bulk-loaded by recursive splitting on the dimension of
+// largest spread at the median — the standard construction for a static
+// collection, which is what the experiments need.
+type HybridTree struct {
+	store        *Store
+	root         *treeNode
+	leafCapacity int
+}
+
+type treeNode struct {
+	lo, hi      linalg.Vector // live-space bounding box
+	left, right *treeNode
+	items       []int // leaf payload (object ids); nil for internal nodes
+}
+
+func (n *treeNode) isLeaf() bool { return n.items != nil }
+
+// TreeOptions configures construction.
+type TreeOptions struct {
+	// NodeSizeBytes models the paper's 4 KB index node: the leaf capacity
+	// is NodeSizeBytes / (8 bytes × dim). Defaults to 4096.
+	NodeSizeBytes int
+}
+
+// NewHybridTree bulk-loads the index over the store.
+func NewHybridTree(s *Store, opt TreeOptions) *HybridTree {
+	if opt.NodeSizeBytes <= 0 {
+		opt.NodeSizeBytes = 4096
+	}
+	capacity := opt.NodeSizeBytes / (8 * s.Dim())
+	if capacity < 4 {
+		capacity = 4
+	}
+	ids := make([]int, s.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	t := &HybridTree{store: s, leafCapacity: capacity}
+	t.root = t.build(ids)
+	return t
+}
+
+// LeafCapacity exposes the effective leaf capacity (for tests and docs).
+func (t *HybridTree) LeafCapacity() int { return t.leafCapacity }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *HybridTree) Height() int { return height(t.root) }
+
+func height(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func (t *HybridTree) build(ids []int) *treeNode {
+	n := &treeNode{}
+	n.lo, n.hi = t.bbox(ids)
+	if len(ids) <= t.leafCapacity {
+		n.items = ids
+		return n
+	}
+	// Split on the dimension with the largest spread, at the median.
+	splitDim := 0
+	bestSpread := -1.0
+	for d := 0; d < t.store.Dim(); d++ {
+		if spread := n.hi[d] - n.lo[d]; spread > bestSpread {
+			bestSpread, splitDim = spread, d
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return t.store.Vector(ids[i])[splitDim] < t.store.Vector(ids[j])[splitDim]
+	})
+	mid := len(ids) / 2
+	// Guard against all-equal keys on the split dimension producing an
+	// empty side: move mid to the first differing position when possible.
+	for mid < len(ids) && mid > 0 &&
+		t.store.Vector(ids[mid])[splitDim] == t.store.Vector(ids[0])[splitDim] &&
+		t.store.Vector(ids[len(ids)-1])[splitDim] != t.store.Vector(ids[0])[splitDim] {
+		mid++
+	}
+	if mid == 0 || mid == len(ids) {
+		// Degenerate data (all equal on every spread dimension): leaf it.
+		n.items = ids
+		return n
+	}
+	left := append([]int(nil), ids[:mid]...)
+	right := append([]int(nil), ids[mid:]...)
+	n.left = t.build(left)
+	n.right = t.build(right)
+	return n
+}
+
+func (t *HybridTree) bbox(ids []int) (lo, hi linalg.Vector) {
+	dim := t.store.Dim()
+	lo = make(linalg.Vector, dim)
+	hi = make(linalg.Vector, dim)
+	for d := 0; d < dim; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, id := range ids {
+		v := t.store.Vector(id)
+		for d, x := range v {
+			if x < lo[d] {
+				lo[d] = x
+			}
+			if x > hi[d] {
+				hi[d] = x
+			}
+		}
+	}
+	return lo, hi
+}
+
+// nodeQueue is a min-heap of tree nodes keyed by metric lower bound.
+type nodeEntry struct {
+	node  *treeNode
+	bound float64
+}
+
+type nodeQueue []nodeEntry
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(nodeEntry)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// KNN answers a k-nearest-neighbor query with best-first (Hjaltason &
+// Samet style) traversal: nodes are expanded in lower-bound order and
+// pruned once their bound exceeds the kth-best distance found so far.
+func (t *HybridTree) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
+	res, stats, _ := t.knnSeeded(m, k, nil)
+	return res, stats
+}
+
+// knnSeeded runs best-first search after (optionally) seeding the result
+// heap with the contents of previously cached leaves. Seeding tightens
+// the pruning bound before any tree node is expanded — the mechanism by
+// which the multipoint refinement approach reuses work across feedback
+// iterations. It returns the leaves visited so callers can cache them.
+func (t *HybridTree) knnSeeded(m distance.Metric, k int, seed []*treeNode) ([]Result, SearchStats, []*treeNode) {
+	var stats SearchStats
+	h := newResultHeap(k)
+	seen := map[*treeNode]bool{}
+	var visited []*treeNode
+
+	evalLeaf := func(n *treeNode) {
+		stats.LeavesVisited++
+		for _, id := range n.items {
+			stats.DistanceEvals++
+			h.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
+		}
+		visited = append(visited, n)
+	}
+
+	for _, n := range seed {
+		if n.isLeaf() && !seen[n] {
+			seen[n] = true
+			evalLeaf(n)
+		}
+	}
+
+	q := &nodeQueue{{node: t.root, bound: m.LowerBound(t.root.lo, t.root.hi)}}
+	heap.Init(q)
+	for q.Len() > 0 {
+		e := heap.Pop(q).(nodeEntry)
+		if e.bound > h.bound() {
+			break // every remaining node is at least this far
+		}
+		stats.NodesVisited++
+		n := e.node
+		if n.isLeaf() {
+			if !seen[n] {
+				seen[n] = true
+				evalLeaf(n)
+			}
+			continue
+		}
+		for _, child := range []*treeNode{n.left, n.right} {
+			if child == nil {
+				continue
+			}
+			b := m.LowerBound(child.lo, child.hi)
+			if b <= h.bound() {
+				heap.Push(q, nodeEntry{node: child, bound: b})
+			}
+		}
+	}
+	return h.sorted(), stats, visited
+}
+
+// RefinementSearcher wraps a HybridTree with the cross-iteration leaf
+// cache used by multipoint query refinement: each KNN seeds its pruning
+// bound from the leaves the previous iteration visited (refined queries
+// move only slightly, so cached leaves contain most of the new answer).
+// The cache makes later feedback iterations markedly cheaper — the cost
+// shape of the paper's Fig. 7.
+type RefinementSearcher struct {
+	tree   *HybridTree
+	cached []*treeNode
+}
+
+// NewRefinementSearcher builds a searcher with an empty cache.
+func NewRefinementSearcher(t *HybridTree) *RefinementSearcher {
+	return &RefinementSearcher{tree: t}
+}
+
+// KNN answers the query, seeding from and then replacing the leaf cache.
+func (r *RefinementSearcher) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
+	res, stats, visited := r.tree.knnSeeded(m, k, r.cached)
+	r.cached = visited
+	return res, stats
+}
+
+// Reset drops the cache (for a fresh query session).
+func (r *RefinementSearcher) Reset() { r.cached = nil }
+
+// CachedLeaves reports the current cache size (for tests/metrics).
+func (r *RefinementSearcher) CachedLeaves() int { return len(r.cached) }

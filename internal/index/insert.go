@@ -1,0 +1,83 @@
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Append adds a vector to the store and returns its new id. The vector
+// must match the store's dimensionality and be finite. Indexes built
+// over the store do NOT see the new vector automatically — call the
+// index's Insert with the returned id (HybridTree supports this; a
+// VA-file's quantile grid must be rebuilt).
+func (s *Store) Append(v linalg.Vector) (int, error) {
+	if v.Dim() != s.dim {
+		return 0, fmt.Errorf("index: append dim %d, store has %d", v.Dim(), s.dim)
+	}
+	for d, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("index: append component %d is not finite", d)
+		}
+	}
+	s.vecs = append(s.vecs, v)
+	return len(s.vecs) - 1, nil
+}
+
+// Insert adds store vector id to the tree: it descends to the leaf whose
+// live-space box needs the least enlargement (growing every box on the
+// path), appends the item, and re-splits the leaf when it overflows.
+// The tree stays exactly correct for search — live-space boxes always
+// contain their subtree's points — though heavy skewed insertion can
+// degrade balance versus a fresh bulk load.
+func (t *HybridTree) Insert(id int) {
+	if id < 0 || id >= t.store.Len() {
+		panic(fmt.Sprintf("index: insert id %d out of range", id))
+	}
+	v := t.store.Vector(id)
+	n := t.root
+	for !n.isLeaf() {
+		growBox(n, v)
+		if enlargement(n.left, v) <= enlargement(n.right, v) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	growBox(n, v)
+	n.items = append(n.items, id)
+	if len(n.items) > t.leafCapacity {
+		// Re-split the overflowing leaf in place with the same
+		// median-split construction used at bulk load.
+		ids := n.items
+		rebuilt := t.build(ids)
+		*n = *rebuilt
+	}
+}
+
+// growBox extends n's bounding box to contain v.
+func growBox(n *treeNode, v linalg.Vector) {
+	for d, x := range v {
+		if x < n.lo[d] {
+			n.lo[d] = x
+		}
+		if x > n.hi[d] {
+			n.hi[d] = x
+		}
+	}
+}
+
+// enlargement returns the total box-side growth needed for n's box to
+// contain v (0 when already inside).
+func enlargement(n *treeNode, v linalg.Vector) float64 {
+	var g float64
+	for d, x := range v {
+		if x < n.lo[d] {
+			g += n.lo[d] - x
+		} else if x > n.hi[d] {
+			g += x - n.hi[d]
+		}
+	}
+	return g
+}

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/linalg"
+)
+
+func TestStoreAppend(t *testing.T) {
+	s, _ := NewStore([]linalg.Vector{{1, 2}})
+	id, err := s.Append(linalg.Vector{3, 4})
+	if err != nil || id != 1 {
+		t.Fatalf("id=%d err=%v", id, err)
+	}
+	if s.Len() != 2 || !s.Vector(1).Equal(linalg.Vector{3, 4}, 0) {
+		t.Error("append did not extend the store")
+	}
+	if _, err := s.Append(linalg.Vector{1}); err == nil {
+		t.Error("dim mismatch must error")
+	}
+}
+
+func TestHybridTreeInsertStaysCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	s := randStore(rng, 500, 3)
+	tree := NewHybridTree(s, TreeOptions{NodeSizeBytes: 512})
+
+	// Insert 500 more vectors one at a time.
+	for i := 0; i < 500; i++ {
+		v := linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		id, err := s.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.Insert(id)
+	}
+
+	// The tree must now agree with a linear scan over the grown store
+	// for both k-NN and range queries.
+	scan := NewLinearScan(s)
+	for trial := 0; trial < 5; trial++ {
+		center := linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		m := &distance.Euclidean{Center: center}
+		want, _ := scan.KNN(m, 20)
+		got, _ := tree.KNN(m, 20)
+		if !sameResults(got, want) {
+			t.Fatalf("trial %d: kNN mismatch after inserts", trial)
+		}
+		wantR, _ := scan.Range(m, 2.0)
+		gotR, _ := tree.Range(m, 2.0)
+		if len(wantR) != len(gotR) {
+			t.Fatalf("trial %d: range sizes %d vs %d", trial, len(gotR), len(wantR))
+		}
+	}
+}
+
+func TestHybridTreeInsertSplitsLeaves(t *testing.T) {
+	// Start from a tiny store (single leaf), insert enough points to
+	// force splits, and check the height grows.
+	s, _ := NewStore([]linalg.Vector{{0, 0}})
+	tree := NewHybridTree(s, TreeOptions{NodeSizeBytes: 256}) // capacity 16
+	if tree.Height() != 1 {
+		t.Fatalf("initial height = %d", tree.Height())
+	}
+	rng := rand.New(rand.NewSource(301))
+	for i := 0; i < 200; i++ {
+		id, _ := s.Append(linalg.Vector{rng.NormFloat64(), rng.NormFloat64()})
+		tree.Insert(id)
+	}
+	if tree.Height() < 3 {
+		t.Errorf("height = %d after 200 inserts into capacity-16 leaves", tree.Height())
+	}
+	// Everything still findable.
+	res, _ := tree.KNN(&distance.Euclidean{Center: linalg.Vector{0, 0}}, 201)
+	if len(res) != 201 {
+		t.Errorf("found %d of 201 items", len(res))
+	}
+}
+
+func TestHybridTreeInsertPanicsOutOfRange(t *testing.T) {
+	s, _ := NewStore([]linalg.Vector{{0, 0}})
+	tree := NewHybridTree(s, TreeOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tree.Insert(5)
+}

@@ -1,0 +1,68 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/distance"
+)
+
+// RangeSearcher answers range queries: all items within a distance bound.
+type RangeSearcher interface {
+	// Range returns every object with metric distance <= radius, in
+	// ascending distance order.
+	Range(m distance.Metric, radius float64) ([]Result, SearchStats)
+}
+
+// Range scans every vector (reference implementation).
+func (l *LinearScan) Range(m distance.Metric, radius float64) ([]Result, SearchStats) {
+	stats := SearchStats{DistanceEvals: l.store.Len()}
+	var out []Result
+	for id, v := range l.store.vecs {
+		if d := m.Eval(v); d <= radius {
+			out = append(out, Result{ID: id, Dist: d})
+		}
+	}
+	sortResults(out)
+	return out, stats
+}
+
+// Range answers the range query with depth-first traversal, pruning
+// subtrees whose metric lower bound exceeds the radius.
+func (t *HybridTree) Range(m distance.Metric, radius float64) ([]Result, SearchStats) {
+	var stats SearchStats
+	var out []Result
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		if m.LowerBound(n.lo, n.hi) > radius {
+			return
+		}
+		stats.NodesVisited++
+		if n.isLeaf() {
+			stats.LeavesVisited++
+			for _, id := range n.items {
+				stats.DistanceEvals++
+				if d := m.Eval(t.store.Vector(id)); d <= radius {
+					out = append(out, Result{ID: id, Dist: d})
+				}
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	sortResults(out)
+	return out, stats
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}

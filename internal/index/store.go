@@ -1,0 +1,176 @@
+// Package index provides the k-nearest-neighbor machinery under the
+// retrieval system: a feature-vector store, a linear-scan reference
+// searcher, a hybrid-tree-style hierarchical index with best-first search
+// over arbitrary lower-boundable distance functions, and the
+// cross-iteration node caching that the multipoint refinement approach
+// uses to cut per-iteration execution cost (paper Fig. 7, citing
+// Chakrabarti, Porkaew & Mehrotra's query-refinement technique).
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/linalg"
+)
+
+// Store is an immutable in-memory feature-vector database. Vector i
+// belongs to image/object i.
+type Store struct {
+	vecs []linalg.Vector
+	dim  int
+}
+
+// NewStore wraps the given vectors. All vectors must share one
+// dimensionality and be finite (NaN or ±Inf components would silently
+// corrupt every distance comparison); the slice is retained (not copied).
+func NewStore(vecs []linalg.Vector) (*Store, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("index: empty store")
+	}
+	dim := vecs[0].Dim()
+	for i, v := range vecs {
+		if v.Dim() != dim {
+			return nil, fmt.Errorf("index: vector %d has dim %d, want %d", i, v.Dim(), dim)
+		}
+		for d, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("index: vector %d component %d is not finite", i, d)
+			}
+		}
+	}
+	return &Store{vecs: vecs, dim: dim}, nil
+}
+
+// Len returns the number of vectors.
+func (s *Store) Len() int { return len(s.vecs) }
+
+// Dim returns the feature dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Vector returns vector id (aliased, treat as read-only).
+func (s *Store) Vector(id int) linalg.Vector { return s.vecs[id] }
+
+// Result is one k-NN answer: an object id and its query distance.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// SearchStats records the work a search performed, the cost measures the
+// execution-cost experiments report.
+type SearchStats struct {
+	NodesVisited  int // internal + leaf nodes expanded
+	LeavesVisited int
+	DistanceEvals int
+}
+
+// Add accumulates other into s.
+func (s *SearchStats) Add(other SearchStats) {
+	s.NodesVisited += other.NodesVisited
+	s.LeavesVisited += other.LeavesVisited
+	s.DistanceEvals += other.DistanceEvals
+}
+
+// Searcher answers k-NN queries for a metric.
+type Searcher interface {
+	// KNN returns the k objects with the smallest metric distance, in
+	// ascending distance order, along with search-work statistics.
+	KNN(m distance.Metric, k int) ([]Result, SearchStats)
+}
+
+// LinearScan is the exhaustive reference searcher.
+type LinearScan struct {
+	store *Store
+}
+
+// NewLinearScan builds a scanner over the store.
+func NewLinearScan(s *Store) *LinearScan { return &LinearScan{store: s} }
+
+// KNN scans every vector.
+func (l *LinearScan) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
+	stats := SearchStats{DistanceEvals: l.store.Len()}
+	h := newResultHeap(k)
+	for id, v := range l.store.vecs {
+		h.offer(Result{ID: id, Dist: m.Eval(v)})
+	}
+	return h.sorted(), stats
+}
+
+// resultHeap is a bounded max-heap keeping the k smallest distances.
+type resultHeap struct {
+	k     int
+	items []Result
+}
+
+func newResultHeap(k int) *resultHeap {
+	return &resultHeap{k: k, items: make([]Result, 0, k+1)}
+}
+
+// bound returns the current kth-best distance, or +Inf when fewer than k
+// results are held.
+func (h *resultHeap) bound() float64 {
+	if len(h.items) < h.k {
+		return inf
+	}
+	return h.items[0].Dist
+}
+
+func (h *resultHeap) offer(r Result) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if r.Dist >= h.items[0].Dist {
+		return
+	}
+	h.items[0] = r
+	h.down(0)
+}
+
+func (h *resultHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist >= h.items[i].Dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *resultHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.items[l].Dist > h.items[largest].Dist {
+			largest = l
+		}
+		if r < n && h.items[r].Dist > h.items[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+func (h *resultHeap) sorted() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+const inf = 1e308

@@ -1,0 +1,123 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/linalg"
+)
+
+func TestVAFileKNNMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 8; trial++ {
+		dim := 2 + rng.Intn(6)
+		s := randStore(rng, 400+rng.Intn(400), dim)
+		va := NewVAFile(s, VAFileOptions{})
+		scan := NewLinearScan(s)
+
+		center := make(linalg.Vector, dim)
+		for d := range center {
+			center[d] = rng.NormFloat64() * 3
+		}
+		for _, m := range []distance.Metric{
+			&distance.Euclidean{Center: center},
+			distance.NewQuadraticDiag(center, onesInv(rng, dim)),
+		} {
+			want, _ := scan.KNN(m, 12)
+			got, stats := va.KNN(m, 12)
+			if !sameResults(got, want) {
+				t.Fatalf("trial %d: VA-file kNN mismatch", trial)
+			}
+			if stats.DistanceEvals > s.Len() {
+				t.Fatal("more exact evaluations than objects")
+			}
+		}
+	}
+}
+
+func TestVAFilePrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	s := randStore(rng, 20000, 4)
+	va := NewVAFile(s, VAFileOptions{BitsPerDim: 5})
+	m := &distance.Euclidean{Center: linalg.Vector{0, 0, 0, 0}}
+	_, stats := va.KNN(m, 10)
+	if stats.DistanceEvals > s.Len()/10 {
+		t.Errorf("weak filtering: %d exact evals of %d", stats.DistanceEvals, s.Len())
+	}
+}
+
+func TestVAFileDisjunctiveMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	s := randStore(rng, 3000, 3)
+	va := NewVAFile(s, VAFileOptions{})
+	scan := NewLinearScan(s)
+	q1 := distance.NewQuadraticDiag(linalg.Vector{-3, -3, -3}, linalg.Vector{1, 1, 1})
+	q2 := distance.NewQuadraticDiag(linalg.Vector{3, 3, 3}, linalg.Vector{1, 1, 1})
+	m := distance.NewDisjunctive([]*distance.Quadratic{q1, q2}, []float64{1, 2})
+
+	want, _ := scan.KNN(m, 20)
+	got, _ := va.KNN(m, 20)
+	if !sameResults(got, want) {
+		t.Fatal("disjunctive kNN mismatch")
+	}
+}
+
+func TestVAFileRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	s := randStore(rng, 2000, 3)
+	va := NewVAFile(s, VAFileOptions{})
+	scan := NewLinearScan(s)
+	m := &distance.Euclidean{Center: linalg.Vector{0.5, -0.5, 1}}
+
+	want, _ := scan.Range(m, 4.0)
+	got, stats := va.Range(m, 4.0)
+	if len(got) != len(want) {
+		t.Fatalf("range sizes: va %d scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range result %d differs", i)
+		}
+	}
+	if stats.DistanceEvals >= s.Len() {
+		t.Error("range scan did not filter at all")
+	}
+}
+
+func TestVAFileDefaultsAndClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	s := randStore(rng, 100, 2)
+	if got := NewVAFile(s, VAFileOptions{}).BitsPerDim(); got != 4 {
+		t.Errorf("default bits = %d", got)
+	}
+	if got := NewVAFile(s, VAFileOptions{BitsPerDim: 99}).BitsPerDim(); got != 12 {
+		t.Errorf("clamped bits = %d", got)
+	}
+}
+
+func TestHybridTreeRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	s := randStore(rng, 5000, 3)
+	tree := NewHybridTree(s, TreeOptions{})
+	scan := NewLinearScan(s)
+	m := &distance.Euclidean{Center: linalg.Vector{1, 1, 1}}
+
+	want, _ := scan.Range(m, 2.0)
+	got, stats := tree.Range(m, 2.0)
+	if len(got) != len(want) {
+		t.Fatalf("range sizes: tree %d scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range result %d differs", i)
+		}
+	}
+	if stats.DistanceEvals >= s.Len() {
+		t.Error("tree range did not prune")
+	}
+	// Empty result for an impossible radius.
+	if empty, _ := tree.Range(m, -1); len(empty) != 0 {
+		t.Error("negative radius must return nothing")
+	}
+}

@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// the matrix whose COLUMNS are the corresponding orthonormal eigenvectors,
+// i.e. m = V diag(values) V'.
+//
+// The Jacobi method is chosen because covariance matrices in this system
+// are small (feature dimensions of 3-32) and the method is simple, robust
+// and delivers orthogonal eigenvectors to machine precision — exactly what
+// the PCA stage (paper Sec. 4.4) needs.
+func EigenSym(m *Matrix) (values Vector, vectors *Matrix) {
+	if !m.IsSquare() {
+		panic("linalg: EigenSym of non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	// Symmetrize defensively: callers pass covariance matrices that can
+	// carry tiny asymmetries from floating-point accumulation.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 0.5 * (a.At(i, j) + a.At(j, i))
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Sum of magnitudes of off-diagonal entries.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += math.Abs(a.At(i, j))
+			}
+		}
+		if off == 0 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				// Skip negligible rotations.
+				if math.Abs(apq) <= 1e-300 ||
+					math.Abs(apq) < 1e-16*(math.Abs(app)+math.Abs(aqq)) {
+					a.Set(p, q, 0)
+					a.Set(q, p, 0)
+					continue
+				}
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation J(p,q,theta) from both sides: a = J' a J.
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors: v = v J.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort in descending eigenvalue order.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{a.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	values = make(Vector, n)
+	vectors = NewMatrix(n, n)
+	for outCol, p := range pairs {
+		values[outCol] = p.val
+		for r := 0; r < n; r++ {
+			vectors.Set(r, outCol, v.At(r, p.idx))
+		}
+	}
+	return values, vectors
+}

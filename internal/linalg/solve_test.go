@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInverseKnown(t *testing.T) {
+	m := FromRows([]Vector{{4, 7}, {2, 6}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([]Vector{{0.6, -0.7}, {-0.2, 0.4}})
+	if !inv.Equal(want, 1e-12) {
+		t.Errorf("Inverse = \n%v", inv)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		m := randSPD(rng, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !m.Mul(inv).Equal(Identity(n), 1e-8) {
+			t.Fatalf("trial %d: m·m⁻¹ != I", trial)
+		}
+		if !inv.Mul(m).Equal(Identity(n), 1e-8) {
+			t.Fatalf("trial %d: m⁻¹·m != I", trial)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := FromRows([]Vector{{1, 2}, {2, 4}})
+	if _, err := m.Inverse(); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	m := FromRows([]Vector{{2, 1}, {1, 3}})
+	x, err := m.Solve(Vector{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.MulVec(x).Equal(Vector{3, 5}, 1e-12) {
+		t.Errorf("Solve residual too large: x = %v", x)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		m := randSPD(rng, n)
+		l, err := m.Cholesky()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !l.Mul(l.T()).Equal(m, 1e-8) {
+			t.Fatalf("trial %d: L·L' != m", trial)
+		}
+		// Lower triangular: zeros above the diagonal.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("trial %d: L not lower-triangular", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	m := FromRows([]Vector{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := m.Cholesky(); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	m := FromRows([]Vector{{1, 2}, {3, 4}})
+	if got := m.Det(); !almostEq(got, -2, 1e-12) {
+		t.Errorf("Det = %v, want -2", got)
+	}
+	if got := Identity(5).Det(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Det(I) = %v", got)
+	}
+	sing := FromRows([]Vector{{1, 2}, {2, 4}})
+	if got := sing.Det(); got != 0 {
+		t.Errorf("Det(singular) = %v", got)
+	}
+}
+
+func TestDetProductRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		a := randMat(rng, 4, 4)
+		b := randMat(rng, 4, 4)
+		got := a.Mul(b).Det()
+		want := a.Det() * b.Det()
+		if math.Abs(got-want) > 1e-8*math.Max(1, math.Abs(want)) {
+			t.Fatalf("det(AB)=%v det(A)det(B)=%v", got, want)
+		}
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		m := randSPD(rng, 5)
+		logAbs, sign := m.LogDet()
+		if sign != 1 {
+			t.Fatalf("SPD matrix must have positive determinant, sign=%d", sign)
+		}
+		want := math.Log(m.Det())
+		if !almostEq(logAbs, want, 1e-8) {
+			t.Fatalf("LogDet = %v, want %v", logAbs, want)
+		}
+	}
+	// Negative determinant.
+	m := FromRows([]Vector{{0, 1}, {1, 0}})
+	logAbs, sign := m.LogDet()
+	if sign != -1 || !almostEq(logAbs, 0, 1e-12) {
+		t.Errorf("LogDet(perm) = %v, %d", logAbs, sign)
+	}
+	// Singular.
+	if _, sign := FromRows([]Vector{{1, 1}, {1, 1}}).LogDet(); sign != 0 {
+		t.Error("singular matrix must report sign 0")
+	}
+}
+
+func TestInverseOrRegularized(t *testing.T) {
+	// Singular PSD matrix: rank-1 outer product.
+	v := Vector{1, 2, 3}
+	m := v.Outer(v)
+	inv := m.InverseOrRegularized(1e-8)
+	if inv == nil {
+		t.Fatal("nil inverse")
+	}
+	// The regularized inverse of (m + ridge I) must satisfy the ridge
+	// equation approximately: (m + r I) inv ≈ I for some small r. We just
+	// check it is finite and symmetric-ish.
+	for _, x := range inv.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("regularized inverse has non-finite entries")
+		}
+	}
+	// Non-singular input must match the plain inverse.
+	rng := rand.New(rand.NewSource(19))
+	spd := randSPD(rng, 4)
+	want, _ := spd.Inverse()
+	if got := spd.InverseOrRegularized(1e-8); !got.Equal(want, 1e-10) {
+		t.Error("regularized path must not perturb non-singular input")
+	}
+}

@@ -1,0 +1,186 @@
+// Package pca implements the dimension-reduction machinery of the paper's
+// Section 4.4: sample principal components, variance-ratio component
+// selection (the 1-ε rule) and the simplified quadratic forms of
+// Hotelling's T² and the distances in principal-component space
+// (Eq. 17-19).
+package pca
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// PCA holds a fitted principal-component transform.
+type PCA struct {
+	Mean        linalg.Vector  // sample mean x̄
+	Components  *linalg.Matrix // G: columns are eigenvectors of S, descending λ
+	Eigenvalues linalg.Vector  // λ_1 >= ... >= λ_p >= 0
+	dim         int
+}
+
+// Fit computes the sample principal components of the data rows
+// (Sec. 4.4.2): the eigendecomposition S = G L G' of the sample
+// covariance of X.
+func Fit(rows []linalg.Vector) (*PCA, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("pca: no data")
+	}
+	p := rows[0].Dim()
+	mean := linalg.NewVector(p)
+	for _, r := range rows {
+		if r.Dim() != p {
+			return nil, fmt.Errorf("pca: ragged data")
+		}
+		mean.AddScaled(1, r)
+	}
+	mean = mean.Scale(1 / float64(len(rows)))
+
+	cov := linalg.NewMatrix(p, p)
+	for _, r := range rows {
+		d := r.Sub(mean)
+		cov.AddScaledInPlace(1, d.Outer(d))
+	}
+	den := float64(len(rows) - 1)
+	if den < 1 {
+		den = 1
+	}
+	cov = cov.Scale(1 / den)
+
+	vals, vecs := linalg.EigenSym(cov)
+	// Clamp tiny negative eigenvalues from roundoff.
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return &PCA{Mean: mean, Components: vecs, Eigenvalues: vals, dim: p}, nil
+}
+
+// Restore rebuilds a PCA from previously fitted parameters (for snapshot
+// deserialization).
+func Restore(mean linalg.Vector, components *linalg.Matrix, eigenvalues linalg.Vector) *PCA {
+	return &PCA{Mean: mean, Components: components, Eigenvalues: eigenvalues, dim: mean.Dim()}
+}
+
+// Dim returns the original data dimensionality p.
+func (p *PCA) Dim() int { return p.dim }
+
+// VarianceRatio returns (λ_1 + ... + λ_k) / Σλ, the proportion of total
+// variation covered by the first k components.
+func (p *PCA) VarianceRatio(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > p.dim {
+		k = p.dim
+	}
+	var top, total float64
+	for i, v := range p.Eigenvalues {
+		total += v
+		if i < k {
+			top += v
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return top / total
+}
+
+// ComponentsFor returns the smallest k whose variance ratio is at least
+// 1-ε — the paper's selection rule with ε <= 0.15 (Sec. 4.4.4).
+func (p *PCA) ComponentsFor(epsilon float64) int {
+	target := 1 - epsilon
+	for k := 1; k <= p.dim; k++ {
+		if p.VarianceRatio(k) >= target {
+			return k
+		}
+	}
+	return p.dim
+}
+
+// Project maps x to its first k principal components:
+// z = G_k' (x - x̄)  (Sec. 4.4.1-4.4.2).
+func (p *PCA) Project(x linalg.Vector, k int) linalg.Vector {
+	if k <= 0 || k > p.dim {
+		panic(fmt.Sprintf("pca: invalid component count %d (dim %d)", k, p.dim))
+	}
+	d := x.Sub(p.Mean)
+	z := make(linalg.Vector, k)
+	for j := 0; j < k; j++ {
+		var s float64
+		for i := 0; i < p.dim; i++ {
+			s += p.Components.At(i, j) * d[i]
+		}
+		z[j] = s
+	}
+	return z
+}
+
+// ProjectAll maps every row to k components.
+func (p *PCA) ProjectAll(rows []linalg.Vector, k int) []linalg.Vector {
+	out := make([]linalg.Vector, len(rows))
+	for i, r := range rows {
+		out[i] = p.Project(r, k)
+	}
+	return out
+}
+
+// Reconstruct maps a k-component representation back to the original
+// space: x̂ = x̄ + G_k z. Reconstruction error is governed by the
+// discarded eigenvalues.
+func (p *PCA) Reconstruct(z linalg.Vector) linalg.Vector {
+	k := z.Dim()
+	if k > p.dim {
+		panic("pca: reconstruction dimension exceeds original")
+	}
+	x := p.Mean.Clone()
+	for j := 0; j < k; j++ {
+		for i := 0; i < p.dim; i++ {
+			x[i] += p.Components.At(i, j) * z[j]
+		}
+	}
+	return x
+}
+
+// T2PC computes Hotelling's T² in principal-component space using the
+// paper's simplified quadratic form (Eq. 18-19):
+// T² ≈ C · Σ_j (z̄_xj - z̄_yj)² / λ_j over the first k components, with
+// C = m_x m_y / (m_x + m_y). Components with λ_j = 0 are skipped (they
+// carry no variation).
+func (p *PCA) T2PC(zx, zy linalg.Vector, mx, my float64) float64 {
+	if zx.Dim() != zy.Dim() {
+		panic("pca: projected dimension mismatch")
+	}
+	c := mx * my / (mx + my)
+	var s float64
+	for j := range zx {
+		l := p.Eigenvalues[j]
+		if l <= 0 {
+			continue
+		}
+		d := zx[j] - zy[j]
+		s += d * d / l
+	}
+	return c * s
+}
+
+// QuadFormPC computes the simplified per-cluster quadratic distance in
+// PC space: Σ_j (z_xj - z_cj)² / λ_j, the PC-space form of Eq. 1 noted
+// after Eq. 19.
+func (p *PCA) QuadFormPC(zx, zc linalg.Vector) float64 {
+	if zx.Dim() != zc.Dim() {
+		panic("pca: projected dimension mismatch")
+	}
+	var s float64
+	for j := range zx {
+		l := p.Eigenvalues[j]
+		if l <= 0 {
+			continue
+		}
+		d := zx[j] - zc[j]
+		s += d * d / l
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package rf
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/distance"
+	"repro/internal/linalg"
+)
+
+// MindReader is the full-covariance single-point baseline (Ishikawa,
+// Subramanya & Faloutsos [11]): like QPM it moves one query point to the
+// relevance-weighted centroid, but its distance is the generalized
+// Euclidean form (x-q)' Λ (x-q) with Λ ∝ S⁻¹, the full inverse of the
+// weighted covariance of the relevant set — so the ellipsoid may be
+// arbitrarily oriented, not just axis-aligned. The paper notes Qcluster
+// with a single cluster "is the same as MindReader's"; this engine is
+// that special case as an independent implementation.
+type MindReader struct {
+	// Alpha is the Rocchio carry-over weight of the previous query point.
+	Alpha float64
+
+	query  linalg.Vector
+	inv    *linalg.Matrix
+	rounds int
+}
+
+// NewMindReader builds the engine.
+func NewMindReader() *MindReader { return &MindReader{Alpha: 0.5} }
+
+// Name implements Engine.
+func (e *MindReader) Name() string { return "MindReader" }
+
+// Init implements Engine.
+func (e *MindReader) Init(q linalg.Vector) {
+	e.query = q.Clone()
+	e.inv = nil
+	e.rounds = 0
+}
+
+// Feedback implements Engine: move the point, estimate the full inverse
+// covariance of this round's relevant set (regularized when singular —
+// the small-sample issue the paper discusses in Sec. 3.2).
+func (e *MindReader) Feedback(points []cluster.Point) {
+	var valid []cluster.Point
+	for _, p := range points {
+		if p.Score > 0 {
+			valid = append(valid, p)
+		}
+	}
+	if len(valid) == 0 {
+		return
+	}
+	c := cluster.FromPoints(valid)
+	if e.rounds == 0 {
+		e.query = c.Mean.Clone()
+	} else {
+		moved := e.query.Scale(e.Alpha)
+		moved.AddScaled(1-e.Alpha, c.Mean)
+		e.query = moved
+	}
+	e.inv = c.InverseCov(cluster.FullInverse)
+	e.rounds++
+}
+
+// Metric implements Engine.
+func (e *MindReader) Metric() distance.Metric {
+	if e.inv == nil {
+		return initialMetric(e.query)
+	}
+	return distance.NewQuadraticFull(e.query, e.inv)
+}
+
+// NumQueryPoints implements Engine.
+func (e *MindReader) NumQueryPoints() int { return 1 }

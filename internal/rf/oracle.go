@@ -1,0 +1,73 @@
+package rf
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/linalg"
+)
+
+// Oracle simulates the user's relevance judgement from category ground
+// truth, exactly as the paper's protocol: "images from the same category
+// are considered most relevant and images from related categories (such
+// as flowers and plants) are considered relevant". Same-category images
+// get RelevantScore, related-category (same theme) images RelatedScore,
+// everything else 0 (not marked).
+type Oracle struct {
+	labels []int // image id -> category
+	themes []int // category -> theme
+	// RelevantScore is the score for same-category images (default 3).
+	RelevantScore float64
+	// RelatedScore is the score for related-category images (default 1).
+	RelatedScore float64
+}
+
+// NewOracle builds the simulated user over the ground truth.
+func NewOracle(labels, themes []int) *Oracle {
+	return &Oracle{labels: labels, themes: themes, RelevantScore: 3, RelatedScore: 1}
+}
+
+// Score returns the relevance score the user assigns to image id for a
+// query of category queryCat.
+func (o *Oracle) Score(queryCat, imageID int) float64 {
+	cat := o.labels[imageID]
+	switch {
+	case cat == queryCat:
+		return o.RelevantScore
+	case o.themes[cat] == o.themes[queryCat]:
+		return o.RelatedScore
+	default:
+		return 0
+	}
+}
+
+// Relevant reports whether image id counts as a ground-truth match for
+// recall/precision purposes (same category only — the strict target set).
+func (o *Oracle) Relevant(queryCat, imageID int) bool {
+	return o.labels[imageID] == queryCat
+}
+
+// Mark converts a result list into the scored relevant set the engines
+// consume: only images with positive score are returned, carrying their
+// feature vectors.
+func (o *Oracle) Mark(queryCat int, ids []int, vec func(int) linalg.Vector) []cluster.Point {
+	out := make([]cluster.Point, 0, len(ids))
+	for _, id := range ids {
+		s := o.Score(queryCat, id)
+		if s <= 0 {
+			continue
+		}
+		out = append(out, cluster.Point{ID: id, Vec: vec(id), Score: s})
+	}
+	return out
+}
+
+// CategorySize returns the number of images of the given category (the
+// recall denominator).
+func (o *Oracle) CategorySize(cat int) int {
+	n := 0
+	for _, l := range o.labels {
+		if l == cat {
+			n++
+		}
+	}
+	return n
+}

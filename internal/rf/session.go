@@ -1,0 +1,61 @@
+package rf
+
+import (
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/linalg"
+)
+
+// Iteration is the outcome of one retrieval round.
+type Iteration struct {
+	// Results are the k-NN answers, ascending distance.
+	Results []index.Result
+	// Stats is the index work the retrieval performed.
+	Stats index.SearchStats
+	// Elapsed is the wall-clock retrieval + feedback time.
+	Elapsed time.Duration
+	// QueryPoints is the number of query representatives used.
+	QueryPoints int
+}
+
+// Session drives one full Algorithm-1 loop: initial k-NN query from an
+// example image, then alternating oracle feedback and refined retrieval.
+type Session struct {
+	Engine   Engine
+	Searcher index.Searcher
+	Oracle   *Oracle
+	// Vec maps an image id to its feature vector.
+	Vec func(int) linalg.Vector
+	// K is the result size (the paper: 100).
+	K int
+}
+
+// Run performs the initial query plus the given number of feedback
+// iterations for the query image with the given id and category, and
+// returns one Iteration per retrieval (iterations+1 entries).
+func (s *Session) Run(queryID, queryCat, iterations int) []Iteration {
+	s.Engine.Init(s.Vec(queryID))
+	out := make([]Iteration, 0, iterations+1)
+	for it := 0; it <= iterations; it++ {
+		start := time.Now()
+		metric := s.Engine.Metric()
+		results, stats := s.Searcher.KNN(metric, s.K)
+		elapsed := time.Since(start)
+		out = append(out, Iteration{
+			Results:     results,
+			Stats:       stats,
+			Elapsed:     elapsed,
+			QueryPoints: s.Engine.NumQueryPoints(),
+		})
+		if it == iterations {
+			break
+		}
+		ids := make([]int, len(results))
+		for i, r := range results {
+			ids[i] = r.ID
+		}
+		s.Engine.Feedback(s.Oracle.Mark(queryCat, ids, s.Vec))
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestUniformCubeBoundsAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	pts := UniformCube(rng, 1000, 3, -2, 2)
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		for _, x := range p {
+			if x < -2 || x > 2 {
+				t.Fatalf("point out of cube: %v", p)
+			}
+		}
+	}
+}
+
+func TestExample3PointCount(t *testing.T) {
+	// Paper Example 3: 10,000 uniform points in (-2,2)³; points within
+	// 1.0 of (-1,-1,-1) or (1,1,1) number 820. Expected count =
+	// 2 · 10000 · (4π/3)/64 ≈ 1309·... let's use the exact math:
+	// sphere volume 4π/3 ≈ 4.19, cube volume 64, fraction per sphere
+	// 0.0654 → 654 per sphere, 1309 for two. The paper reports 820,
+	// implying partial sphere clipping/overlap in their data; we assert
+	// the statistical expectation for OUR generator: 1309 ± 5σ (σ≈35).
+	rng := rand.New(rand.NewSource(71))
+	pts := UniformCube(rng, 10000, 3, -2, 2)
+	centers := []linalg.Vector{{-1, -1, -1}, {1, 1, 1}}
+	got := CountWithin(pts, centers, 1.0)
+	expected := 2 * 10000 * (4 * math.Pi / 3) / 64
+	if math.Abs(float64(got)-expected) > 175 {
+		t.Errorf("retrieved %d, statistical expectation %.0f", got, expected)
+	}
+}
+
+func TestGaussianClustersLabelsAndSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	spec := ClusterSpec{Dim: 16, NumClusters: 3, PointsPerCluster: 100, InterDist: 2.5, Shape: Spherical}
+	pts := GaussianClusters(rng, spec)
+	if len(pts) != 300 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	// Per-label means must be ≈ the simplex centers (pairwise distance 2.5).
+	means := make([]linalg.Vector, 3)
+	counts := make([]int, 3)
+	for i := range means {
+		means[i] = linalg.NewVector(16)
+	}
+	for _, p := range pts {
+		means[p.Label].AddScaled(1, p.Vec)
+		counts[p.Label]++
+	}
+	for i := range means {
+		if counts[i] != 100 {
+			t.Fatalf("label %d has %d points", i, counts[i])
+		}
+		means[i] = means[i].Scale(1.0 / 100)
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			d := means[i].Dist(means[j])
+			if math.Abs(d-2.5) > 0.6 {
+				t.Errorf("centers %d-%d at distance %v, want ≈2.5", i, j, d)
+			}
+		}
+	}
+}
+
+func TestEllipticalIsAnisotropic(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	spec := ClusterSpec{Dim: 8, NumClusters: 1, PointsPerCluster: 3000, InterDist: 1, Shape: Elliptical}
+	pts := GaussianClusters(rng, spec)
+	// Per-dimension variance must vary by at least ~5x.
+	vars := make([]float64, 8)
+	mean := linalg.NewVector(8)
+	for _, p := range pts {
+		mean.AddScaled(1, p.Vec)
+	}
+	mean = mean.Scale(1 / float64(len(pts)))
+	for _, p := range pts {
+		for d := range vars {
+			dd := p.Vec[d] - mean[d]
+			vars[d] += dd * dd
+		}
+	}
+	minV, maxV := math.Inf(1), 0.0
+	for _, v := range vars {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV/minV < 5 {
+		t.Errorf("elliptical data nearly spherical: var ratio %v", maxV/minV)
+	}
+}
+
+func TestSimplexCentersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k > dim")
+		}
+	}()
+	GaussianClusters(rand.New(rand.NewSource(1)), ClusterSpec{Dim: 2, NumClusters: 3, PointsPerCluster: 1, InterDist: 1})
+}
+
+func TestClusterPairSameMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a, b := ClusterPair(rng, PairSpec{Dim: 16, N: 30, SameMean: true, Shape: Spherical})
+	if len(a) != 30 || len(b) != 30 {
+		t.Fatalf("sizes %d %d", len(a), len(b))
+	}
+	ma, mb := meanOf(a), meanOf(b)
+	// Same population: means within sampling error (σ/√30 per dim ≈ 0.18;
+	// 16-dim distance ≈ 0.18·√(2·16) ≈ 1.0 typical).
+	if d := ma.Dist(mb); d > 2.5 {
+		t.Errorf("same-mean pair means %v apart", d)
+	}
+}
+
+func TestClusterPairDifferentMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	a, b := ClusterPair(rng, PairSpec{Dim: 16, N: 30, SameMean: false, MeanDist: 5, Shape: Spherical})
+	ma, mb := meanOf(a), meanOf(b)
+	if d := ma.Dist(mb); math.Abs(d-5) > 2 {
+		t.Errorf("different-mean pair means %v apart, want ≈5", d)
+	}
+}
+
+func meanOf(xs []linalg.Vector) linalg.Vector {
+	m := linalg.NewVector(xs[0].Dim())
+	for _, x := range xs {
+		m.AddScaled(1, x)
+	}
+	return m.Scale(1 / float64(len(xs)))
+}
+
+func TestCountWithin(t *testing.T) {
+	pts := []linalg.Vector{{0, 0}, {1, 0}, {3, 0}}
+	centers := []linalg.Vector{{0, 0}}
+	if got := CountWithin(pts, centers, 1.5); got != 2 {
+		t.Errorf("CountWithin = %d", got)
+	}
+	// A point near two centers counts once.
+	two := []linalg.Vector{{0, 0}, {0.5, 0}}
+	if got := CountWithin([]linalg.Vector{{0.25, 0}}, two, 1); got != 1 {
+		t.Errorf("double-counting: %d", got)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Spherical.String() != "spherical" || Elliptical.String() != "elliptical" {
+		t.Error("Shape.String mismatch")
+	}
+}
