@@ -1,7 +1,10 @@
 package qcluster
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/distance"
 	"repro/internal/index"
@@ -16,18 +19,25 @@ type Result struct {
 	Dist float64
 }
 
-// Database is an indexed, immutable feature-vector collection. Searches
-// run on a hybrid-tree-style index with best-first pruning; arbitrary
-// query distance functions (single-point, disjunctive multipoint) are
+// Database is an indexed feature-vector collection. Searches run on a
+// hybrid-tree-style index with best-first pruning; arbitrary query
+// distance functions (single-point, disjunctive multipoint) are
 // supported through lower-boundable metrics.
+//
+// A Database is safe for concurrent use: Add takes a write lock while
+// searches share a read lock, and the index keeps an epoch counter so
+// per-session refinement caches taken before an Add are discarded rather
+// than reused against a re-split tree.
 type Database struct {
+	mu    sync.RWMutex
 	store *index.Store
 	tree  *index.HybridTree
 }
 
 // NewDatabase indexes the given vectors. All vectors must share one
-// dimensionality. The slice is retained.
-func NewDatabase(vectors [][]float64) (*Database, error) {
+// dimensionality and be finite. The slice is retained.
+func NewDatabase(vectors [][]float64) (_ *Database, err error) {
+	defer barrier("NewDatabase", &err)
 	vecs := make([]linalg.Vector, len(vectors))
 	for i, v := range vectors {
 		vecs[i] = linalg.Vector(v)
@@ -43,10 +53,13 @@ func NewDatabase(vectors [][]float64) (*Database, error) {
 }
 
 // Add appends a new item to the database and the index, returning its
-// id. Concurrent Add and Search calls must be externally synchronized;
-// a Database that is only searched is safe for concurrent use.
-func (db *Database) Add(vector []float64) (int, error) {
-	id, err := db.store.Append(linalg.Vector(vector))
+// id. It is safe to call concurrently with Search and other Add calls:
+// the database serializes the mutation internally against all readers.
+func (db *Database) Add(vector []float64) (id int, err error) {
+	defer barrier("Add", &err)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id, err = db.store.Append(linalg.Vector(vector))
 	if err != nil {
 		return 0, fmt.Errorf("qcluster: %w", err)
 	}
@@ -55,27 +68,81 @@ func (db *Database) Add(vector []float64) (int, error) {
 }
 
 // Len returns the number of items.
-func (db *Database) Len() int { return db.store.Len() }
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.Len()
+}
 
 // Dim returns the feature dimensionality.
-func (db *Database) Dim() int { return db.store.Dim() }
+func (db *Database) Dim() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.Dim()
+}
 
 // Vector returns item id's feature vector (read-only).
-func (db *Database) Vector(id int) []float64 { return db.store.Vector(id) }
+func (db *Database) Vector(id int) []float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.Vector(id)
+}
 
 // SearchByExample answers a plain k-NN query around an example vector —
 // the initial retrieval of a feedback session.
 func (db *Database) SearchByExample(example []float64, k int) []Result {
 	m := &distance.Euclidean{Center: linalg.Vector(example)}
+	db.mu.RLock()
 	res, _ := db.tree.KNN(m, k)
+	db.mu.RUnlock()
 	return convertResults(res)
+}
+
+// SearchByExampleContext is SearchByExample with cooperative
+// cancellation and a panic barrier. An already-expired context returns
+// promptly with its (wrapped) error and no results; a context that
+// expires mid-search returns the best-effort results found so far along
+// with an error matching both ErrPartialResults and the context error.
+func (db *Database) SearchByExampleContext(ctx context.Context, example []float64, k int) (_ []Result, err error) {
+	defer barrier("SearchByExampleContext", &err)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qcluster: search not started: %w", err)
+	}
+	m := &distance.Euclidean{Center: linalg.Vector(example)}
+	db.mu.RLock()
+	res, _, cerr := db.tree.KNNContext(ctx, m, k)
+	db.mu.RUnlock()
+	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
 // Search answers a k-NN query under the query model's aggregate
 // disjunctive distance. The query must have absorbed feedback (Ready).
 func (db *Database) Search(q *Query, k int) []Result {
-	res, _ := db.tree.KNN(q.model.Metric(), k)
+	m := q.metric()
+	db.mu.RLock()
+	res, _ := db.tree.KNN(m, k)
+	db.mu.RUnlock()
 	return convertResults(res)
+}
+
+// SearchContext is Search with cooperative cancellation and a panic
+// barrier (see SearchByExampleContext for the context semantics). A
+// query without feedback returns ErrNotReady instead of panicking, and
+// covariance degradations encountered while building the metric are
+// recorded on the query's Health.
+func (db *Database) SearchContext(ctx context.Context, q *Query, k int) (_ []Result, err error) {
+	defer barrier("SearchContext", &err)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qcluster: search not started: %w", err)
+	}
+	if !q.Ready() {
+		return nil, fmt.Errorf("qcluster: %w", ErrNotReady)
+	}
+	m := q.metric()
+	db.mu.RLock()
+	res, _, cerr := db.tree.KNNContext(ctx, m, k)
+	db.mu.RUnlock()
+	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
 func convertResults(rs []index.Result) []Result {
@@ -87,8 +154,11 @@ func convertResults(rs []index.Result) []Result {
 }
 
 // Session is the end-to-end feedback loop over one database: retrieve,
-// mark, refine — Algorithm 1 behind a two-method API.
+// mark, refine — Algorithm 1 behind a two-method API. A Session is safe
+// for concurrent use; its refinement cache and query model are guarded
+// internally.
 type Session struct {
+	mu       sync.Mutex // guards searcher (and orders query snapshots)
 	db       *Database
 	query    *Query
 	example  linalg.Vector
@@ -110,28 +180,73 @@ func (db *Database) NewSession(example []float64, opt Options) *Session {
 // Successive calls reuse index work from the previous iteration (the
 // multipoint refinement caching of the paper's Fig. 7).
 func (s *Session) Results(k int) []Result {
+	res, _ := s.results(context.Background(), k)
+	return res
+}
+
+// ResultsContext is Results with cooperative cancellation and a panic
+// barrier (see SearchByExampleContext for the context semantics). An
+// interrupted search still refreshes the session's refinement cache with
+// the leaves it visited, so the next call starts warmer.
+func (s *Session) ResultsContext(ctx context.Context, k int) (_ []Result, err error) {
+	defer barrier("ResultsContext", &err)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qcluster: search not started: %w", err)
+	}
+	return s.results(ctx, k)
+}
+
+func (s *Session) results(ctx context.Context, k int) ([]Result, error) {
 	var m distance.Metric
 	if s.query.Ready() {
-		m = s.query.model.Metric()
+		m = s.query.metric()
 	} else {
 		m = &distance.Euclidean{Center: s.example}
 	}
-	res, _ := s.searcher.KNN(m, k)
-	return convertResults(res)
+	s.mu.Lock()
+	s.db.mu.RLock()
+	res, _, cerr := s.searcher.KNNContext(ctx, m, k)
+	s.db.mu.RUnlock()
+	s.mu.Unlock()
+	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
 // MarkRelevant feeds the user's relevance judgement back into the query.
-// It returns an error when a point's dimensionality does not match the
-// database's.
-func (s *Session) MarkRelevant(points []Point) error {
+// It returns an error — absorbing nothing — when a positively scored
+// point's dimensionality does not match the database's or its vector has
+// non-finite (NaN or ±Inf) components, which would silently corrupt the
+// cluster means.
+func (s *Session) MarkRelevant(points []Point) (err error) {
+	defer barrier("MarkRelevant", &err)
+	dim := s.db.Dim()
 	for i, p := range points {
-		if p.Score > 0 && len(p.Vec) != s.db.Dim() {
+		if p.Score <= 0 {
+			continue
+		}
+		if len(p.Vec) != dim {
 			return fmt.Errorf("qcluster: point %d has dimension %d, database has %d",
-				i, len(p.Vec), s.db.Dim())
+				i, len(p.Vec), dim)
+		}
+		if err := checkFinite(i, p.Vec); err != nil {
+			return err
 		}
 	}
 	return s.query.Feedback(points)
 }
 
+// Health returns the session query's health status — the degradation
+// trace of the most recent metric construction (see Health).
+func (s *Session) Health() Health { return s.query.Health() }
+
 // Query exposes the underlying query model for inspection.
 func (s *Session) Query() *Query { return s.query }
+
+// checkFinite rejects NaN and ±Inf components in feedback vectors.
+func checkFinite(i int, v []float64) error {
+	for d, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("qcluster: feedback point %d component %d is not finite (%v)", i, d, x)
+		}
+	}
+	return nil
+}

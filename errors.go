@@ -1,0 +1,62 @@
+package qcluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPartialResults tags errors returned alongside best-effort results
+// when a context-aware search is interrupted mid-traversal by
+// cancellation or a deadline. The results returned with it are the best
+// candidates found before the interrupt — sorted, possibly fewer than k,
+// and not guaranteed exact. The error also wraps the context's error, so
+// errors.Is(err, context.DeadlineExceeded) (or context.Canceled) works.
+var ErrPartialResults = errors.New("partial results")
+
+// ErrNotReady is returned by SearchContext when the query has not
+// absorbed any feedback yet (see Query.Ready); the initial retrieval
+// should go through SearchByExampleContext instead.
+var ErrNotReady = errors.New("query has no feedback yet")
+
+// ErrInternal is the sentinel wrapped by every InternalError, so callers
+// can match the whole class with errors.Is(err, ErrInternal).
+var ErrInternal = errors.New("internal error")
+
+// InternalError is produced by the panic barrier at the public API
+// boundary: a panic escaping the math or index core (an invariant
+// violation, a numerically impossible state) is converted into this
+// typed error instead of crashing the calling goroutine. Retrieval state
+// is left as it was when the panic fired; the caller can keep using the
+// database for other queries.
+type InternalError struct {
+	// Op is the public operation that trapped the panic.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements the error interface.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("qcluster: %s: internal error: %v", e.Op, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrInternal) true for every InternalError.
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// barrier is the recover-based panic barrier installed at every
+// error-returning public entry point: defer barrier("Op", &err).
+func barrier(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = &InternalError{Op: op, Value: r}
+	}
+}
+
+// wrapInterrupt converts a context error from an interrupted search into
+// the public partial-results error; nil stays nil.
+func wrapInterrupt(err error, n int) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("qcluster: search interrupted after %d results: %w: %w",
+		n, ErrPartialResults, err)
+}

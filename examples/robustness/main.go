@@ -1,0 +1,156 @@
+// Command robustness demonstrates the concurrency, cancellation, and
+// graceful-degradation surface of the public API: concurrent Add +
+// Search, context-aware search with partial results, the query-health
+// status under a singular FullInverse covariance, and boundary
+// validation of poisoned feedback.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	qcluster "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	const dim = 8
+	vectors := make([][]float64, 5000)
+	for i := range vectors {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		vectors[i] = v
+	}
+	db, err := qcluster.NewDatabase(vectors)
+	if err != nil {
+		panic(err)
+	}
+
+	// 1. Concurrent writers and readers on one shared database.
+	var wg sync.WaitGroup
+	var added, searched int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				if w%2 == 0 {
+					v := make([]float64, dim)
+					for d := range v {
+						v[d] = rng.NormFloat64()
+					}
+					if _, err := db.Add(v); err != nil {
+						panic(err)
+					}
+					mu.Lock()
+					added++
+					mu.Unlock()
+				} else {
+					res := db.SearchByExample(db.Vector(rng.Intn(5000)), 10)
+					if len(res) != 10 {
+						panic("short result")
+					}
+					mu.Lock()
+					searched++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("1. concurrent mix ok: %d adds + %d searches, db now %d items\n",
+		added, searched, db.Len())
+
+	// 2. Already-cancelled context: prompt, typed error, no results.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = db.SearchByExampleContext(ctx, db.Vector(0), 10)
+	fmt.Printf("2. pre-cancelled search: canceled=%v partial=%v err=%q\n",
+		errors.Is(err, context.Canceled), errors.Is(err, qcluster.ErrPartialResults), err)
+
+	// 3. Mid-search deadline: best-effort partial results, tagged. A
+	// multi-cluster FullInverse query over a larger collection is slow
+	// enough to time, so a deadline at half its latency reliably expires
+	// mid-traversal.
+	big := make([][]float64, 60000)
+	for i := range big {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		big[i] = v
+	}
+	bigDB, err := qcluster.NewDatabase(big)
+	if err != nil {
+		panic(err)
+	}
+	heavy := qcluster.NewQuery(qcluster.Options{Scheme: qcluster.FullInverse})
+	var spread []qcluster.Point
+	for i := 0; i < 40; i++ {
+		spread = append(spread, qcluster.Point{ID: i, Vec: big[i*700], Score: 3})
+	}
+	if err := heavy.Feedback(spread); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	if _, err := bigDB.SearchContext(context.Background(), heavy, 500); err != nil {
+		panic(err)
+	}
+	full := time.Since(start)
+	// Halve the deadline until it expires mid-traversal (a too-generous
+	// deadline completes; a microscopic one expires before the search
+	// even starts).
+	var res []qcluster.Result
+	deadline := full / 2
+	for try := 0; try < 15 && !errors.Is(err, qcluster.ErrPartialResults); try++ {
+		dctx, dcancel := context.WithTimeout(context.Background(), deadline)
+		res, err = bigDB.SearchContext(dctx, heavy, 500)
+		dcancel()
+		if err == nil {
+			deadline /= 2
+		}
+	}
+	fmt.Printf("3. mid-search deadline (%v of a %v search): %d partial results, partial=%v deadline=%v\n",
+		deadline, full, len(res), errors.Is(err, qcluster.ErrPartialResults), errors.Is(err, context.DeadlineExceeded))
+
+	// 4. Singular covariance under FullInverse: 3 points in 8-D cannot
+	// span the space; retrieval survives via the regularized fallback and
+	// reports it through the query health.
+	q := qcluster.NewQuery(qcluster.Options{Scheme: qcluster.FullInverse})
+	base := db.Vector(0)
+	var pts []qcluster.Point
+	for i := 0; i < 3; i++ {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = base[d] + 0.01*float64(i+1)*float64(d+1)
+		}
+		pts = append(pts, qcluster.Point{ID: i, Vec: v, Score: 3})
+	}
+	if err := q.Feedback(pts); err != nil {
+		panic(err)
+	}
+	res, err = db.SearchContext(context.Background(), q, 10)
+	h := q.Health()
+	fmt.Printf("4. singular FullInverse query: %d results, err=%v, health={clusters:%d degraded:%d} Degraded=%v\n",
+		len(res), err, h.Clusters, h.DegradedClusters, h.Degraded())
+
+	// 5. Poisoned feedback is rejected at the boundary.
+	err = q.Feedback([]qcluster.Point{{ID: 99, Vec: []float64{1, math.NaN(), 0, 0, 0, 0, 0, 0}, Score: 3}})
+	fmt.Printf("5. NaN feedback rejected: %v\n", err)
+
+	// 6. Degenerate k values.
+	fmt.Printf("6. k=0 -> %d results, k=-5 -> %d results, k>Len -> %d results (Len=%d)\n",
+		len(db.SearchByExample(base, 0)),
+		len(db.SearchByExample(base, -5)),
+		len(db.SearchByExample(db.Vector(1), db.Len()+100)),
+		db.Len())
+}

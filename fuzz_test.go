@@ -1,0 +1,83 @@
+package qcluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzFeedback feeds randomized point batches — mixed dimensionalities,
+// empty vectors, non-positive scores, NaN/Inf components — into
+// Query.Feedback and asserts that it never panics and that the model
+// state stays invariant-preserving: a rejected batch mutates nothing,
+// an accepted batch leaves finite representatives and internally
+// consistent clusters within the configured bound.
+func FuzzFeedback(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), uint8(0))
+	f.Add(int64(2), uint8(8), uint8(2), uint8(1))
+	f.Add(int64(3), uint8(1), uint8(9), uint8(2))
+	f.Add(int64(4), uint8(0), uint8(0), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, dim, batches, schemeBits uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		opt := Options{}
+		if schemeBits&1 != 0 {
+			opt.Scheme = FullInverse
+		}
+		q := NewQuery(opt)
+		maxPoints := 5 // Options zero value bounds merging at 5
+
+		for b := 0; b < int(batches%10)+1; b++ {
+			n := rng.Intn(8)
+			pts := make([]Point, n)
+			for i := range pts {
+				d := int(dim % 12)
+				if rng.Intn(4) == 0 {
+					d = rng.Intn(12) // mixed dims within a batch
+				}
+				v := make([]float64, d)
+				for j := range v {
+					switch rng.Intn(12) {
+					case 0:
+						v[j] = math.NaN()
+					case 1:
+						v[j] = math.Inf(1 - 2*rng.Intn(2))
+					default:
+						v[j] = rng.NormFloat64()
+					}
+				}
+				pts[i] = Point{
+					ID:    rng.Intn(20) - 5, // some negative (synthetic) ids
+					Vec:   v,
+					Score: float64(rng.Intn(5)) - 1, // includes <= 0
+				}
+			}
+
+			before := q.NumQueryPoints()
+			err := q.Feedback(pts)
+			if err != nil {
+				if q.NumQueryPoints() != before {
+					t.Fatalf("rejected batch mutated the model: %d -> %d", before, q.NumQueryPoints())
+				}
+				continue
+			}
+			if g := q.NumQueryPoints(); g > maxPoints {
+				t.Fatalf("query points %d exceed bound %d", g, maxPoints)
+			}
+			for _, rep := range q.Representatives() {
+				for _, x := range rep {
+					if math.IsNaN(x) || math.IsInf(x, 0) {
+						t.Fatalf("non-finite representative %v", rep)
+					}
+				}
+			}
+			for _, c := range q.model.Clusters() {
+				if err := c.Validate(); err != nil {
+					t.Fatalf("cluster invariant violated: %v", err)
+				}
+			}
+			if q.ClusterQualityError() < 0 || q.ClusterQualityError() > 1 {
+				t.Fatalf("error rate out of range: %v", q.ClusterQualityError())
+			}
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package qcluster
+
+import "repro/internal/core"
+
+// Health is the query-health status: a record of how the most recent
+// metric construction degraded gracefully instead of crashing. With the
+// FullInverse scheme a cluster holding fewer points than the feature
+// dimensionality has a singular covariance; retrieval then falls back to
+// the ridge-regularized inverse (the regularization the paper cites from
+// Zhou & Huang for the small-sample singularity problem) and reports the
+// fallback here. The zero value means "healthy".
+type Health struct {
+	// Clusters is the number of query points in the last-built metric
+	// (0 before any search with feedback has run).
+	Clusters int
+	// DegradedClusters counts clusters whose covariance was singular and
+	// whose distance came from a fallback: a ridge-regularized full
+	// inverse or a floored variance.
+	DegradedClusters int
+}
+
+// Degraded reports whether any cluster needed a covariance fallback in
+// the last-built metric.
+func (h Health) Degraded() bool { return h.DegradedClusters > 0 }
+
+func healthFromCore(h core.Health) Health {
+	return Health{Clusters: h.Clusters, DegradedClusters: h.DegradedClusters}
+}

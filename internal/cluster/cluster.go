@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 )
 
@@ -194,35 +195,62 @@ func varianceFloor(diag linalg.Vector) float64 {
 // InverseDiagOf returns the elementwise inverse of cov's diagonal with
 // degenerate entries floored.
 func InverseDiagOf(cov *linalg.Matrix) linalg.Vector {
+	inv, _ := InverseDiagOfInfo(cov)
+	return inv
+}
+
+// InverseDiagOfInfo is InverseDiagOf plus a degradation report: degraded
+// is true when any diagonal entry was at the variance floor, i.e. the
+// cluster's covariance was singular along at least one dimension and the
+// distance falls back to a floored variance there.
+func InverseDiagOfInfo(cov *linalg.Matrix) (inv linalg.Vector, degraded bool) {
 	diag := cov.Diagonal()
 	floor := varianceFloor(diag)
-	inv := make(linalg.Vector, len(diag))
+	inv = make(linalg.Vector, len(diag))
 	for i, v := range diag {
 		if v < floor {
 			v = floor
+			degraded = true
 		}
 		inv[i] = 1 / v
 	}
-	return inv
+	return inv, degraded
 }
 
 // InverseOf returns cov⁻¹ under the given scheme (diagonal-only or full,
 // regularized when singular).
 func InverseOf(cov *linalg.Matrix, scheme Scheme) *linalg.Matrix {
+	inv, _ := InverseOfInfo(cov, scheme)
+	return inv
+}
+
+// InverseOfInfo is InverseOf plus a degradation report: degraded is true
+// when the covariance was singular and the inverse came from a fallback
+// — a floored variance (either scheme) or the ridge-regularized inverse
+// (full scheme). The faultinject.SingularCovariance hook forces the
+// full-scheme ridge path for tests.
+func InverseOfInfo(cov *linalg.Matrix, scheme Scheme) (inv *linalg.Matrix, degraded bool) {
 	switch scheme {
 	case Diagonal:
-		return linalg.Diag(InverseDiagOf(cov))
+		d, degraded := InverseDiagOfInfo(cov)
+		return linalg.Diag(d), degraded
 	case FullInverse:
 		// Floor fully-degenerate covariances the same way.
 		diag := cov.Diagonal()
 		floor := varianceFloor(diag)
 		work := cov.Clone()
+		floored := false
 		for i := 0; i < work.Rows; i++ {
 			if work.At(i, i) < floor {
 				work.Set(i, i, floor)
+				floored = true
 			}
 		}
-		return work.InverseOrRegularized(1e-8)
+		if faultinject.Enabled(faultinject.SingularCovariance) {
+			return work.RegularizedInverse(1e-8), true
+		}
+		inv, regularized := work.InverseOrRegularizedInfo(1e-8)
+		return inv, floored || regularized
 	default:
 		panic("cluster: unknown scheme")
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/cluster"
 	"repro/internal/distance"
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 )
 
@@ -84,7 +85,25 @@ type QueryModel struct {
 	clusters []*cluster.Cluster
 	seen     map[int]bool // image ids already absorbed
 	opt      Options
+	health   Health // degradation trace of the last Metric construction
 }
+
+// Health is the query-health status: it records how the most recent
+// metric construction degraded to keep a singular covariance from
+// crashing retrieval (ridge-regularized inverses, floored variances).
+// The zero value means "healthy" — no fallback was needed.
+type Health struct {
+	// Clusters is the number of query clusters in the last-built metric
+	// (0 before any metric has been built).
+	Clusters int
+	// DegradedClusters counts clusters whose covariance was singular and
+	// whose distance came from the regularized/floored fallback.
+	DegradedClusters int
+}
+
+// Degraded reports whether the last-built metric needed any covariance
+// fallback.
+func (h Health) Degraded() bool { return h.DegradedClusters > 0 }
 
 // New returns an empty query model.
 func New(opt Options) *QueryModel {
@@ -115,6 +134,7 @@ func (m *QueryModel) Representatives() []linalg.Vector {
 // classifier (Algorithm 2). Both paths finish with T² cluster merging
 // (Algorithm 3).
 func (m *QueryModel) Feedback(points []cluster.Point) {
+	faultinject.Fire(faultinject.FeedbackBatch)
 	fresh := make([]cluster.Point, 0, len(points))
 	for _, p := range points {
 		if p.ID >= 0 && m.seen[p.ID] {
@@ -177,6 +197,16 @@ func (m *QueryModel) classifyOptions() classify.Options {
 // the initial retrieval is a plain single-point query handled by the
 // session layer.
 func (m *QueryModel) Metric() distance.Metric {
+	metric, _ := m.MetricInfo()
+	return metric
+}
+
+// MetricInfo is Metric plus the query-health status of the construction:
+// singular cluster covariances do not crash the build but fall back to
+// regularized/floored inverses, and the returned Health says how many
+// clusters needed that. The same Health is retained and readable later
+// via Health().
+func (m *QueryModel) MetricInfo() (distance.Metric, Health) {
 	if len(m.clusters) == 0 {
 		panic("core: Metric before any feedback")
 	}
@@ -184,8 +214,14 @@ func (m *QueryModel) Metric() distance.Metric {
 	if m.opt.Ablations.RawCovariances {
 		tau = 0
 	}
-	return distance.FromClustersShrunk(m.clusters, m.opt.Scheme, tau)
+	metric, info := distance.FromClustersShrunkInfo(m.clusters, m.opt.Scheme, tau)
+	m.health = Health{Clusters: info.Clusters, DegradedClusters: info.DegradedClusters}
+	return metric, m.health
 }
+
+// Health returns the degradation trace of the most recent metric
+// construction (the zero value before any metric has been built).
+func (m *QueryModel) Health() Health { return m.health }
 
 // ErrorRate reports the leave-one-out misclassification rate of the
 // current clusters — the clustering-quality measure of Sec. 4.5.

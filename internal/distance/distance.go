@@ -192,22 +192,54 @@ func FromClusters(cs []*cluster.Cluster, scheme cluster.Scheme) *Disjunctive {
 // strength tau; tau = 0 uses each cluster's raw sample covariance (the
 // paper's Eq. 5 read literally — exposed for ablation studies).
 func FromClustersShrunk(cs []*cluster.Cluster, scheme cluster.Scheme, tau float64) *Disjunctive {
+	d, _ := FromClustersShrunkInfo(cs, scheme, tau)
+	return d
+}
+
+// BuildInfo reports degradations absorbed while constructing a metric —
+// the observable trace of the graceful-degradation paths (regularized
+// inverses, floored variances) that keep a singular covariance from
+// crashing retrieval.
+type BuildInfo struct {
+	// Clusters is the number of query clusters the metric aggregates.
+	Clusters int
+	// DegradedClusters counts clusters whose covariance was singular and
+	// whose quadratic form therefore came from a fallback: a floored
+	// variance (either scheme) or the ridge-regularized full inverse.
+	DegradedClusters int
+}
+
+// Degraded reports whether any cluster needed a covariance fallback.
+func (b BuildInfo) Degraded() bool { return b.DegradedClusters > 0 }
+
+// FromClustersShrunkInfo is FromClustersShrunk plus a BuildInfo
+// describing which graceful-degradation paths the construction took.
+func FromClustersShrunkInfo(cs []*cluster.Cluster, scheme cluster.Scheme, tau float64) (*Disjunctive, BuildInfo) {
 	if len(cs) == 0 {
 		panic("distance: no clusters")
 	}
+	info := BuildInfo{Clusters: len(cs)}
 	pooled := cluster.PooledAll(cs)
 	parts := make([]*Quadratic, len(cs))
 	ws := make([]float64, len(cs))
 	for i, c := range cs {
 		cov := cluster.ShrunkCov(c, pooled, tau)
+		var degraded bool
 		if scheme == cluster.Diagonal {
-			parts[i] = NewQuadraticDiag(c.Mean, cluster.InverseDiagOf(cov))
+			var diag linalg.Vector
+			diag, degraded = cluster.InverseDiagOfInfo(cov)
+			parts[i] = NewQuadraticDiag(c.Mean, diag)
 		} else {
-			parts[i] = NewQuadraticFull(c.Mean, cluster.InverseOf(cov, cluster.FullInverse))
+			var inv *linalg.Matrix
+			inv, degraded = cluster.InverseOfInfo(cov, cluster.FullInverse)
+			parts[i] = NewQuadraticFull(c.Mean, inv)
+		}
+		if degraded {
+			info.DegradedClusters++
 		}
 		ws[i] = c.Weight
 	}
-	return NewDisjunctive(parts, ws)
+	return NewDisjunctive(parts, ws), info
 }
 
 func dimOf(cs []*cluster.Cluster) int {

@@ -1,0 +1,125 @@
+// Package faultinject provides race-safe test hooks for forcing the
+// retrieval core down its degraded paths: singular covariances that must
+// fall back to the ridge-regularized inverse, mid-traversal cancellations
+// of the best-first k-NN search, and degenerate feedback batches. The
+// production code calls Fire/Enabled at a handful of named points; with
+// no hooks registered the cost is a single atomic load, so the
+// instrumentation can stay compiled in.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Named hook points instrumented in the retrieval core.
+const (
+	// SingularCovariance, when enabled, makes cluster.InverseOfInfo treat
+	// every full covariance as singular, forcing the ridge-regularized
+	// fallback path (and the degraded query-health status) even for
+	// well-conditioned clusters.
+	SingularCovariance = "cluster.singular-covariance"
+	// KNNPop fires at every heap pop of the hybrid tree's best-first
+	// traversal. A test hook can cancel a context or block here to
+	// exercise mid-search deadlines with deterministic timing.
+	KNNPop = "index.knn-pop"
+	// FeedbackBatch fires at the entry of QueryModel.Feedback, before the
+	// batch is filtered, so tests can observe or perturb feedback timing.
+	FeedbackBatch = "core.feedback-batch"
+)
+
+var (
+	armed atomic.Int32 // number of registered hooks; 0 = fast path
+	mu    sync.RWMutex
+	hooks = map[string]func(){}
+)
+
+// Set registers fn to run whenever Fire(point) is reached. A nil fn
+// still marks the point enabled (for Enabled-gated paths that need no
+// callback). Replacing an existing hook is allowed.
+func Set(point string, fn func()) {
+	if fn == nil {
+		fn = func() {}
+	}
+	mu.Lock()
+	if _, ok := hooks[point]; !ok {
+		armed.Add(1)
+	}
+	hooks[point] = fn
+	mu.Unlock()
+}
+
+// Clear removes the hook at point, if any.
+func Clear(point string) {
+	mu.Lock()
+	if _, ok := hooks[point]; ok {
+		delete(hooks, point)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset removes every registered hook. Tests should defer this.
+func Reset() {
+	mu.Lock()
+	for p := range hooks {
+		delete(hooks, p)
+	}
+	armed.Store(0)
+	mu.Unlock()
+}
+
+// Enabled reports whether a hook is registered at point.
+func Enabled(point string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.RLock()
+	_, ok := hooks[point]
+	mu.RUnlock()
+	return ok
+}
+
+// Fire invokes the hook registered at point, if any. The hook runs
+// outside the registry lock, so it may call Set/Clear/Reset itself.
+func Fire(point string) {
+	if armed.Load() == 0 {
+		return
+	}
+	mu.RLock()
+	fn := hooks[point]
+	mu.RUnlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// IdenticalBatch returns n copies of one constant vector — the most
+// degenerate feedback batch possible: zero scatter in every dimension,
+// guaranteeing a singular covariance for any dim >= 1.
+func IdenticalBatch(dim, n int, value float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = value
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// CollinearBatch returns n points spaced along a single line in dim-D
+// space: the scatter has rank 1, so the covariance is singular whenever
+// dim > 1 regardless of how many points are supplied.
+func CollinearBatch(dim, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = float64(i+1) * float64(d+1)
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -2,10 +2,12 @@ package index
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/distance"
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 )
 
@@ -24,6 +26,7 @@ type HybridTree struct {
 	store        *Store
 	root         *treeNode
 	leafCapacity int
+	epoch        uint64 // bumped by every Insert; see Epoch
 }
 
 type treeNode struct {
@@ -61,6 +64,14 @@ func NewHybridTree(s *Store, opt TreeOptions) *HybridTree {
 
 // LeafCapacity exposes the effective leaf capacity (for tests and docs).
 func (t *HybridTree) LeafCapacity() int { return t.leafCapacity }
+
+// Epoch returns the tree's structural version: it starts at 0 and is
+// bumped by every Insert. Cached node pointers (RefinementSearcher) are
+// only reused while the epoch is unchanged, since an insert may re-split
+// a cached leaf in place. The tree does no internal locking — callers
+// that mix Insert with searches must serialize them externally (the
+// public Database does this with an RWMutex).
+func (t *HybridTree) Epoch() uint64 { return t.epoch }
 
 // Height returns the tree height (1 for a single leaf).
 func (t *HybridTree) Height() int { return height(t.root) }
@@ -161,18 +172,34 @@ func (q *nodeQueue) Pop() interface{} {
 // KNN answers a k-nearest-neighbor query with best-first (Hjaltason &
 // Samet style) traversal: nodes are expanded in lower-bound order and
 // pruned once their bound exceeds the kth-best distance found so far.
+// k <= 0 yields no results.
 func (t *HybridTree) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
-	res, stats, _ := t.knnSeeded(m, k, nil)
+	res, stats, _, _ := t.knnSeeded(context.Background(), m, k, nil)
 	return res, stats
+}
+
+// KNNContext is KNN with cooperative cancellation: the best-first loop
+// checks ctx between node expansions and, when the context is cancelled
+// or its deadline passes mid-traversal, stops early and returns the
+// best-effort results accumulated so far together with ctx.Err(). A nil
+// error means the search ran to completion and the results are exact.
+func (t *HybridTree) KNNContext(ctx context.Context, m distance.Metric, k int) ([]Result, SearchStats, error) {
+	res, stats, _, err := t.knnSeeded(ctx, m, k, nil)
+	return res, stats, err
 }
 
 // knnSeeded runs best-first search after (optionally) seeding the result
 // heap with the contents of previously cached leaves. Seeding tightens
 // the pruning bound before any tree node is expanded — the mechanism by
 // which the multipoint refinement approach reuses work across feedback
-// iterations. It returns the leaves visited so callers can cache them.
-func (t *HybridTree) knnSeeded(m distance.Metric, k int, seed []*treeNode) ([]Result, SearchStats, []*treeNode) {
+// iterations. It returns the leaves visited so callers can cache them,
+// plus a non-nil ctx.Err() when the traversal was cut short (results are
+// then the best found so far, still sorted).
+func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, seed []*treeNode) ([]Result, SearchStats, []*treeNode, error) {
 	var stats SearchStats
+	if k <= 0 {
+		return nil, stats, nil, ctx.Err()
+	}
 	h := newResultHeap(k)
 	seen := map[*treeNode]bool{}
 	var visited []*treeNode
@@ -187,6 +214,9 @@ func (t *HybridTree) knnSeeded(m distance.Metric, k int, seed []*treeNode) ([]Re
 	}
 
 	for _, n := range seed {
+		if err := ctx.Err(); err != nil {
+			return h.sorted(), stats, visited, err
+		}
 		if n.isLeaf() && !seen[n] {
 			seen[n] = true
 			evalLeaf(n)
@@ -196,6 +226,10 @@ func (t *HybridTree) knnSeeded(m distance.Metric, k int, seed []*treeNode) ([]Re
 	q := &nodeQueue{{node: t.root, bound: m.LowerBound(t.root.lo, t.root.hi)}}
 	heap.Init(q)
 	for q.Len() > 0 {
+		faultinject.Fire(faultinject.KNNPop)
+		if err := ctx.Err(); err != nil {
+			return h.sorted(), stats, visited, err
+		}
 		e := heap.Pop(q).(nodeEntry)
 		if e.bound > h.bound() {
 			break // every remaining node is at least this far
@@ -219,7 +253,7 @@ func (t *HybridTree) knnSeeded(m distance.Metric, k int, seed []*treeNode) ([]Re
 			}
 		}
 	}
-	return h.sorted(), stats, visited
+	return h.sorted(), stats, visited, nil
 }
 
 // RefinementSearcher wraps a HybridTree with the cross-iteration leaf
@@ -231,6 +265,7 @@ func (t *HybridTree) knnSeeded(m distance.Metric, k int, seed []*treeNode) ([]Re
 type RefinementSearcher struct {
 	tree   *HybridTree
 	cached []*treeNode
+	epoch  uint64 // tree epoch the cache was taken at
 }
 
 // NewRefinementSearcher builds a searcher with an empty cache.
@@ -239,10 +274,24 @@ func NewRefinementSearcher(t *HybridTree) *RefinementSearcher {
 }
 
 // KNN answers the query, seeding from and then replacing the leaf cache.
+// A cache taken at an older tree epoch (i.e. before an Insert, which may
+// have re-split cached leaves) is discarded rather than reused.
 func (r *RefinementSearcher) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
-	res, stats, visited := r.tree.knnSeeded(m, k, r.cached)
-	r.cached = visited
+	res, stats, _ := r.KNNContext(context.Background(), m, k)
 	return res, stats
+}
+
+// KNNContext is KNN with cooperative cancellation (see
+// HybridTree.KNNContext). An interrupted search still updates the leaf
+// cache with whatever leaves it visited — they remain valid seeds.
+func (r *RefinementSearcher) KNNContext(ctx context.Context, m distance.Metric, k int) ([]Result, SearchStats, error) {
+	if r.epoch != r.tree.epoch {
+		r.cached = nil
+	}
+	res, stats, visited, err := r.tree.knnSeeded(ctx, m, k, r.cached)
+	r.cached = visited
+	r.epoch = r.tree.epoch
+	return res, stats, err
 }
 
 // Reset drops the cache (for a fresh query session).

@@ -35,6 +35,7 @@ func (t *HybridTree) Insert(id int) {
 	if id < 0 || id >= t.store.Len() {
 		panic(fmt.Sprintf("index: insert id %d out of range", id))
 	}
+	t.epoch++
 	v := t.store.Vector(id)
 	n := t.root
 	for !n.isLeaf() {

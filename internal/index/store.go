@@ -16,8 +16,9 @@ import (
 	"repro/internal/linalg"
 )
 
-// Store is an immutable in-memory feature-vector database. Vector i
-// belongs to image/object i.
+// Store is an append-only in-memory feature-vector database. Vector i
+// belongs to image/object i. It does no internal locking — the public
+// Database layer serializes Append against readers.
 type Store struct {
 	vecs []linalg.Vector
 	dim  int
@@ -89,8 +90,11 @@ type LinearScan struct {
 // NewLinearScan builds a scanner over the store.
 func NewLinearScan(s *Store) *LinearScan { return &LinearScan{store: s} }
 
-// KNN scans every vector.
+// KNN scans every vector. k <= 0 yields no results.
 func (l *LinearScan) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
+	if k <= 0 {
+		return nil, SearchStats{}
+	}
 	stats := SearchStats{DistanceEvals: l.store.Len()}
 	h := newResultHeap(k)
 	for id, v := range l.store.vecs {
@@ -110,8 +114,11 @@ func newResultHeap(k int) *resultHeap {
 }
 
 // bound returns the current kth-best distance, or +Inf when fewer than k
-// results are held.
+// results are held. A non-positive k admits nothing: the bound is -Inf.
 func (h *resultHeap) bound() float64 {
+	if h.k <= 0 {
+		return -inf
+	}
 	if len(h.items) < h.k {
 		return inf
 	}
@@ -119,6 +126,9 @@ func (h *resultHeap) bound() float64 {
 }
 
 func (h *resultHeap) offer(r Result) {
+	if h.k <= 0 {
+		return
+	}
 	if len(h.items) < h.k {
 		h.items = append(h.items, r)
 		h.up(len(h.items) - 1)

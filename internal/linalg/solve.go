@@ -197,9 +197,27 @@ func (m *Matrix) LogDet() (logAbs float64, sign int) {
 // singularity problem (Zhou & Huang [21]). It always succeeds for
 // symmetric positive semi-definite input.
 func (m *Matrix) InverseOrRegularized(eps float64) *Matrix {
+	inv, _ := m.InverseOrRegularizedInfo(eps)
+	return inv
+}
+
+// InverseOrRegularizedInfo is InverseOrRegularized plus a report of
+// whether the ridge fallback was needed: regularized is false when m
+// inverted directly and true when the returned inverse is of a
+// ridge-perturbed (or, in the last resort, identity-scaled) matrix.
+// Callers surface this as a degraded-health signal instead of a crash.
+func (m *Matrix) InverseOrRegularizedInfo(eps float64) (inv *Matrix, regularized bool) {
 	if inv, err := m.Inverse(); err == nil {
-		return inv
+		return inv, false
 	}
+	return m.RegularizedInverse(eps), true
+}
+
+// RegularizedInverse inverts m after unconditionally adding an
+// increasing ridge eps*I scaled by the mean diagonal magnitude — the
+// fallback path of InverseOrRegularized, exposed so fault-injection can
+// force it even for well-conditioned matrices.
+func (m *Matrix) RegularizedInverse(eps float64) *Matrix {
 	if eps <= 0 {
 		eps = 1e-8
 	}

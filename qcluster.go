@@ -25,9 +25,11 @@ package qcluster
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/distance"
 	"repro/internal/linalg"
 )
 
@@ -80,8 +82,11 @@ type Point struct {
 	Score float64
 }
 
-// Query is the evolving multipoint query model.
+// Query is the evolving multipoint query model. It is safe for
+// concurrent use: feedback absorption and metric construction are
+// serialized by an internal mutex.
 type Query struct {
+	mu    sync.Mutex
 	model *core.QueryModel
 	dim   int // fixed by the first accepted point; 0 until then
 }
@@ -95,8 +100,13 @@ func NewQuery(opt Options) *Query {
 // non-positive scores or already-seen IDs are ignored. It returns an
 // error (and absorbs nothing) when any point's dimensionality conflicts
 // with the query's established dimensionality or with the rest of the
-// batch.
-func (q *Query) Feedback(points []Point) error {
+// batch, or when any positively scored point carries a non-finite
+// (NaN or ±Inf) component — a poisoned vector would otherwise silently
+// corrupt the cluster means.
+func (q *Query) Feedback(points []Point) (err error) {
+	defer barrier("Feedback", &err)
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	dim := q.dim
 	ps := make([]cluster.Point, 0, len(points))
 	for i, p := range points {
@@ -112,6 +122,9 @@ func (q *Query) Feedback(points []Point) error {
 			return fmt.Errorf("qcluster: feedback point %d has dimension %d, want %d",
 				i, len(p.Vec), dim)
 		}
+		if err := checkFinite(i, p.Vec); err != nil {
+			return err
+		}
 		ps = append(ps, cluster.Point{ID: p.ID, Vec: linalg.Vector(p.Vec), Score: p.Score})
 	}
 	q.model.Feedback(ps)
@@ -119,12 +132,36 @@ func (q *Query) Feedback(points []Point) error {
 	return nil
 }
 
+// metric builds the current aggregate disjunctive distance under the
+// query lock, recording any covariance degradation on the query health.
+func (q *Query) metric() distance.Metric {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m, _ := q.model.MetricInfo()
+	return m
+}
+
+// Health returns the query-health status of the most recent metric
+// construction: how many clusters the query aggregates and how many of
+// them needed the regularized-covariance fallback (see Health).
+func (q *Query) Health() Health {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return healthFromCore(q.model.Health())
+}
+
 // NumQueryPoints returns the current number of cluster representatives.
-func (q *Query) NumQueryPoints() int { return q.model.NumClusters() }
+func (q *Query) NumQueryPoints() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.model.NumClusters()
+}
 
 // Representatives returns the current cluster centroids — the multipoint
 // query the next search runs with.
 func (q *Query) Representatives() [][]float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	reps := q.model.Representatives()
 	out := make([][]float64, len(reps))
 	for i, r := range reps {
@@ -136,15 +173,27 @@ func (q *Query) Representatives() [][]float64 {
 // ClusterQualityError reports the leave-one-out misclassification rate of
 // the current clusters (Sec. 4.5): 0 means every relevant item would be
 // re-classified into its own cluster.
-func (q *Query) ClusterQualityError() float64 { return q.model.ErrorRate() }
+func (q *Query) ClusterQualityError() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.model.ErrorRate()
+}
 
 // Ready reports whether the query has absorbed any feedback yet; before
 // that, searches fall back to the plain example-point query.
-func (q *Query) Ready() bool { return q.model.NumClusters() > 0 }
+func (q *Query) Ready() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.model.NumClusters() > 0
+}
 
 // Save serializes the query model (clusters, member points, options) so
 // a relevance-feedback session can be suspended and resumed later.
-func (q *Query) Save(w io.Writer) error { return q.model.Save(w) }
+func (q *Query) Save(w io.Writer) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.model.Save(w)
+}
 
 // LoadQuery restores a query model written by Save.
 func LoadQuery(r io.Reader) (*Query, error) {
