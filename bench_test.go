@@ -7,6 +7,7 @@
 package qcluster_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -371,6 +372,57 @@ func BenchmarkT2PCSpaceSpeedup(b *testing.B) {
 }
 
 var sink float64
+
+// BenchmarkKNN times the k-NN hot path itself — the parallel leaf stage
+// against the sequential traversal — over random collections at the
+// BENCH_search.json grid (dim ∈ {8, 32}, N ∈ {10k, 100k}). CI runs this
+// with -benchtime=1x as a smoke test; `qbench -exp search` produces the
+// recorded trajectory from the same workload.
+func BenchmarkKNN(b *testing.B) {
+	const k = 100
+	for _, n := range []int{10000, 100000} {
+		for _, dim := range []int{8, 32} {
+			rng := rand.New(rand.NewSource(int64(31*n + dim)))
+			data := make([]float64, n*dim)
+			for i := range data {
+				data[i] = rng.NormFloat64() * 3
+			}
+			store, err := index.NewStoreFlat(data, dim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seq := index.NewHybridTree(store, index.TreeOptions{Parallelism: 1})
+			par := seq.WithParallelism(0)
+			centers := make([]linalg.Vector, 16)
+			for i := range centers {
+				c := make(linalg.Vector, dim)
+				for d := range c {
+					c[d] = rng.NormFloat64() * 3
+				}
+				centers[i] = c
+			}
+			modes := []struct {
+				name string
+				tree *index.HybridTree
+			}{
+				{"seq", seq},
+				{"par", par},
+			}
+			for _, mode := range modes {
+				mode := mode
+				name := fmt.Sprintf("dim%d/n%d/%s", dim, n, mode.name)
+				b.Run(name, func(b *testing.B) {
+					var stats index.SearchStats
+					for i := 0; i < b.N; i++ {
+						m := &distance.Euclidean{Center: centers[i%len(centers)]}
+						_, stats = mode.tree.KNN(m, k)
+					}
+					b.ReportMetric(float64(stats.DistanceEvals), "exact-evals")
+				})
+			}
+		}
+	}
+}
 
 // BenchmarkAblations runs each small-sample correction removed in turn
 // on the complex-query vector world; the reported recall shows what each

@@ -10,6 +10,12 @@
 //
 // Experiment ids: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16 fig17 fig18 fig19 table2 table3 (or "all").
+//
+// The "search" experiment (not part of "all") benchmarks the k-NN hot
+// path itself — parallel vs sequential traversal over random
+// collections — and writes BENCH_search.json (see EXPERIMENTS.md):
+//
+//	qbench -exp search -queries 50 -benchout BENCH_search.json
 package main
 
 import (
@@ -40,6 +46,10 @@ type config struct {
 	pairs   int
 	trials  int
 	seed    int64
+
+	// search-experiment knobs
+	parallelism int
+	benchOut    string
 }
 
 func main() {
@@ -56,6 +66,8 @@ func main() {
 	flag.IntVar(&cfg.pairs, "pairs", 100, "cluster pairs for tables 2-3 (paper: 100)")
 	flag.IntVar(&cfg.trials, "trials", 10, "trials for classification error rates")
 	flag.Int64Var(&cfg.seed, "seed", 2003, "master random seed")
+	flag.IntVar(&cfg.parallelism, "parallelism", 0, "search workers for -exp search (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_search.json", "JSON output path for -exp search (empty to skip)")
 	flag.Parse()
 
 	ids := expandExperiments(cfg.exp)
@@ -137,6 +149,10 @@ func newRunner(cfg config) *runner {
 		// Convergence study (the paper's second experimental goal):
 		// per-iteration recall gain, result churn and query-model drift.
 		"convergence": r.convergence,
+		// k-NN hot-path microbenchmark: parallel vs sequential traversal,
+		// machine-readable trajectory in BENCH_search.json. Excluded from
+		// "all" — it measures the index, not the paper's figures.
+		"search": r.searchBench,
 	}
 	return r
 }

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/linalg"
+)
+
+// The search experiment measures the k-NN hot path itself — per-query
+// latency and distance-evaluation throughput of the hybrid tree, with
+// the parallel leaf stage against the sequential traversal — and writes
+// a machine-readable BENCH_search.json so every future perf PR lands on
+// a recorded trajectory (schema documented in EXPERIMENTS.md).
+
+// searchSide is one traversal mode's measurements over a cell's queries.
+type searchSide struct {
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	DistanceEvals int64   `json:"distance_evals"`
+	EvalsPerSec   float64 `json:"evals_per_sec"`
+}
+
+// searchCell is one (N, dim) workload.
+type searchCell struct {
+	N                int        `json:"n"`
+	Dim              int        `json:"dim"`
+	Sequential       searchSide `json:"sequential"`
+	Parallel         searchSide `json:"parallel"`
+	Speedup          float64    `json:"speedup"`
+	IdenticalResults bool       `json:"identical_results"`
+}
+
+// searchReport is the BENCH_search.json document.
+type searchReport struct {
+	Schema      string       `json:"schema"`
+	GoMaxProcs  int          `json:"go_max_procs"`
+	Parallelism int          `json:"parallelism"`
+	K           int          `json:"k"`
+	Queries     int          `json:"queries"`
+	Seed        int64        `json:"seed"`
+	Cells       []searchCell `json:"cells"`
+}
+
+func (r *runner) searchBench() {
+	report := searchReport{
+		Schema:      "qcluster-bench-search/v1",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: resolveWorkers(r.cfg.parallelism),
+		K:           r.cfg.k,
+		Queries:     r.cfg.queries,
+		Seed:        r.cfg.seed,
+	}
+	fmt.Printf("k-NN hot path: k=%d, %d queries/cell, %d workers (GOMAXPROCS %d)\n\n",
+		report.K, report.Queries, report.Parallelism, report.GoMaxProcs)
+	fmt.Printf("%8s %5s | %23s | %23s | %7s %6s\n",
+		"N", "dim", "sequential p50/p95 ms", "parallel   p50/p95 ms", "speedup", "equal")
+	for _, n := range []int{10000, 100000} {
+		for _, dim := range []int{8, 32} {
+			cell := runSearchCell(n, dim, report.K, report.Queries, report.Parallelism, report.Seed)
+			report.Cells = append(report.Cells, cell)
+			fmt.Printf("%8d %5d | %11.3f /%9.3f | %11.3f /%9.3f | %6.2fx %6v\n",
+				cell.N, cell.Dim,
+				cell.Sequential.P50Ms, cell.Sequential.P95Ms,
+				cell.Parallel.P50Ms, cell.Parallel.P95Ms,
+				cell.Speedup, cell.IdenticalResults)
+		}
+	}
+	if r.cfg.benchOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", r.cfg.benchOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(r.cfg.benchOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", r.cfg.benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", r.cfg.benchOut)
+	}
+}
+
+// resolveWorkers mirrors the index's knob semantics for the report.
+func resolveWorkers(p int) int {
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// runSearchCell builds one random collection and times every query in
+// both traversal modes, verifying the result sets match exactly.
+func runSearchCell(n, dim, k, queries, workers int, seed int64) searchCell {
+	rng := rand.New(rand.NewSource(seed + int64(31*n+dim)))
+	data := make([]float64, n*dim)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 3
+	}
+	store, err := index.NewStoreFlat(data, dim)
+	if err != nil {
+		panic(err)
+	}
+	seq := index.NewHybridTree(store, index.TreeOptions{Parallelism: 1})
+	par := seq.WithParallelism(workers)
+
+	centers := make([]linalg.Vector, queries)
+	for i := range centers {
+		c := make(linalg.Vector, dim)
+		for d := range c {
+			c[d] = rng.NormFloat64() * 3
+		}
+		centers[i] = c
+	}
+
+	cell := searchCell{N: n, Dim: dim, IdenticalResults: true}
+	var seqLat, parLat []float64
+	var seqEvals, parEvals int64
+	var seqTotal, parTotal time.Duration
+	for _, c := range centers {
+		m := &distance.Euclidean{Center: c}
+
+		t0 := time.Now()
+		wantRes, sStats := seq.KNN(m, k)
+		d := time.Since(t0)
+		seqLat = append(seqLat, d.Seconds()*1e3)
+		seqTotal += d
+		seqEvals += int64(sStats.DistanceEvals)
+
+		t0 = time.Now()
+		gotRes, pStats := par.KNN(m, k)
+		d = time.Since(t0)
+		parLat = append(parLat, d.Seconds()*1e3)
+		parTotal += d
+		parEvals += int64(pStats.DistanceEvals)
+
+		if len(gotRes) != len(wantRes) {
+			cell.IdenticalResults = false
+		} else {
+			for i := range wantRes {
+				if gotRes[i] != wantRes[i] {
+					cell.IdenticalResults = false
+					break
+				}
+			}
+		}
+	}
+	cell.Sequential = summarizeSide(seqLat, seqEvals, seqTotal)
+	cell.Parallel = summarizeSide(parLat, parEvals, parTotal)
+	if parTotal > 0 {
+		cell.Speedup = seqTotal.Seconds() / parTotal.Seconds()
+	}
+	return cell
+}
+
+func summarizeSide(latMs []float64, evals int64, total time.Duration) searchSide {
+	sorted := append([]float64(nil), latMs...)
+	sort.Float64s(sorted)
+	var mean float64
+	for _, l := range sorted {
+		mean += l
+	}
+	mean /= float64(len(sorted))
+	side := searchSide{
+		P50Ms:         quantile(sorted, 0.50),
+		P95Ms:         quantile(sorted, 0.95),
+		MeanMs:        mean,
+		DistanceEvals: evals,
+	}
+	if total > 0 {
+		side.EvalsPerSec = float64(evals) / total.Seconds()
+	}
+	return side
+}
+
+// quantile reads q from an ascending-sorted sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -34,9 +34,27 @@ type Database struct {
 	tree  *index.HybridTree
 }
 
-// NewDatabase indexes the given vectors. All vectors must share one
-// dimensionality and be finite. The slice is retained.
-func NewDatabase(vectors [][]float64) (_ *Database, err error) {
+// IndexOptions tunes the database's search index. The zero value is the
+// default configuration.
+type IndexOptions struct {
+	// NodeSizeBytes models the index node size (leaf capacity =
+	// NodeSizeBytes / (8 × dim)). Defaults to 4096.
+	NodeSizeBytes int
+	// SearchParallelism is the worker count for the parallel k-NN leaf
+	// stage: 0 uses GOMAXPROCS, 1 forces sequential search. Searches on
+	// small collections stay sequential regardless.
+	SearchParallelism int
+}
+
+// NewDatabase indexes the given vectors with default index options. All
+// vectors must share one dimensionality and be finite. The vectors are
+// copied into one contiguous block; the input slices are not retained.
+func NewDatabase(vectors [][]float64) (*Database, error) {
+	return NewDatabaseWithOptions(vectors, IndexOptions{})
+}
+
+// NewDatabaseWithOptions is NewDatabase with explicit index tuning.
+func NewDatabaseWithOptions(vectors [][]float64, opt IndexOptions) (_ *Database, err error) {
 	defer barrier("NewDatabase", &err)
 	vecs := make([]linalg.Vector, len(vectors))
 	for i, v := range vectors {
@@ -48,7 +66,10 @@ func NewDatabase(vectors [][]float64) (_ *Database, err error) {
 	}
 	return &Database{
 		store: store,
-		tree:  index.NewHybridTree(store, index.TreeOptions{}),
+		tree: index.NewHybridTree(store, index.TreeOptions{
+			NodeSizeBytes: opt.NodeSizeBytes,
+			Parallelism:   opt.SearchParallelism,
+		}),
 	}, nil
 }
 
@@ -89,8 +110,13 @@ func (db *Database) Vector(id int) []float64 {
 }
 
 // SearchByExample answers a plain k-NN query around an example vector —
-// the initial retrieval of a feedback session.
+// the initial retrieval of a feedback session. An example whose
+// dimensionality does not match the database's yields nil (use
+// SearchByExampleContext for a typed ErrDimensionMismatch).
 func (db *Database) SearchByExample(example []float64, k int) []Result {
+	if len(example) != db.Dim() {
+		return nil
+	}
 	m := &distance.Euclidean{Center: linalg.Vector(example)}
 	db.mu.RLock()
 	res, _ := db.tree.KNN(m, k)
@@ -108,6 +134,10 @@ func (db *Database) SearchByExampleContext(ctx context.Context, example []float6
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("qcluster: search not started: %w", err)
 	}
+	if len(example) != db.Dim() {
+		return nil, fmt.Errorf("qcluster: example has dimension %d, database has %d: %w",
+			len(example), db.Dim(), ErrDimensionMismatch)
+	}
 	m := &distance.Euclidean{Center: linalg.Vector(example)}
 	db.mu.RLock()
 	res, _, cerr := db.tree.KNNContext(ctx, m, k)
@@ -116,8 +146,14 @@ func (db *Database) SearchByExampleContext(ctx context.Context, example []float6
 }
 
 // Search answers a k-NN query under the query model's aggregate
-// disjunctive distance. The query must have absorbed feedback (Ready).
+// disjunctive distance. A query that has absorbed no feedback yet (not
+// Ready) has no distance function to search with; Search returns nil
+// for it rather than panicking — use SearchContext for the typed
+// ErrNotReady, or SearchByExample for the initial retrieval.
 func (db *Database) Search(q *Query, k int) []Result {
+	if !q.Ready() {
+		return nil
+	}
 	m := q.metric()
 	db.mu.RLock()
 	res, _ := db.tree.KNN(m, k)
@@ -166,6 +202,10 @@ type Session struct {
 }
 
 // NewSession starts a retrieval session from an example feature vector.
+// The example must match the database's dimensionality; a mismatched
+// example makes every pre-feedback retrieval return nil results
+// (Results) or ErrDimensionMismatch (ResultsContext) instead of
+// panicking inside the index.
 func (db *Database) NewSession(example []float64, opt Options) *Session {
 	return &Session{
 		db:       db,
@@ -201,6 +241,10 @@ func (s *Session) results(ctx context.Context, k int) ([]Result, error) {
 	if s.query.Ready() {
 		m = s.query.metric()
 	} else {
+		if len(s.example) != s.db.Dim() {
+			return nil, fmt.Errorf("qcluster: session example has dimension %d, database has %d: %w",
+				len(s.example), s.db.Dim(), ErrDimensionMismatch)
+		}
 		m = &distance.Euclidean{Center: s.example}
 	}
 	s.mu.Lock()

@@ -18,6 +18,14 @@ var ErrPartialResults = errors.New("partial results")
 // should go through SearchByExampleContext instead.
 var ErrNotReady = errors.New("query has no feedback yet")
 
+// ErrDimensionMismatch is returned by the context-aware search variants
+// when an example vector's dimensionality differs from the database's.
+// The error-free variants (SearchByExample, Session.Results) return nil
+// results for the same condition. A longer example used to panic inside
+// the index's lower-bound computation and a shorter one silently ranked
+// by a prefix of the dimensions; both are now rejected at the boundary.
+var ErrDimensionMismatch = errors.New("example dimension mismatch")
+
 // ErrInternal is the sentinel wrapped by every InternalError, so callers
 // can match the whole class with errors.Is(err, ErrInternal).
 var ErrInternal = errors.New("internal error")

@@ -67,7 +67,6 @@ type Quadratic struct {
 	invDiag linalg.Vector  // diagonal scheme
 	invFull *linalg.Matrix // full scheme
 	lambda  float64        // λ_min(W) for the full-scheme lower bound
-	scratch linalg.Vector  // reusable difference buffer
 }
 
 // NewQuadraticDiag builds the diagonal-scheme quadratic distance. invDiag
@@ -105,7 +104,9 @@ func FromCluster(c *cluster.Cluster, scheme cluster.Scheme) *Quadratic {
 // Dim returns the dimensionality.
 func (q *Quadratic) Dim() int { return q.Center.Dim() }
 
-// Eval returns (x-c)' W (x-c).
+// Eval returns (x-c)' W (x-c). It keeps no per-call state, so one
+// metric may be evaluated from many goroutines at once — the parallel
+// k-NN leaf workers rely on this.
 func (q *Quadratic) Eval(x linalg.Vector) float64 {
 	if q.invDiag != nil {
 		var s float64
@@ -115,8 +116,7 @@ func (q *Quadratic) Eval(x linalg.Vector) float64 {
 		}
 		return s
 	}
-	q.scratch = x.SubInto(q.scratch, q.Center)
-	return q.invFull.QuadForm(q.scratch)
+	return q.invFull.QuadFormDiff(x, q.Center)
 }
 
 // LowerBound returns a lower bound of Eval over [lo, hi]. For the

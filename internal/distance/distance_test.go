@@ -3,6 +3,7 @@ package distance
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -302,4 +303,52 @@ func TestMetricDims(t *testing.T) {
 	if d.Dim() != 3 {
 		t.Errorf("Disjunctive.Dim = %d", d.Dim())
 	}
+}
+
+// Concurrent Eval on one full-scheme Quadratic (and the Disjunctive
+// aggregate over it) must be race-free and exact: the full-scheme path
+// used to write a shared scratch buffer per call, a data race under the
+// parallel k-NN workers and any concurrent engine user. Run with -race.
+func TestQuadraticConcurrentEvalFullScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	const dim = 8
+	center := make(linalg.Vector, dim)
+	for i := range center {
+		center[i] = rng.NormFloat64()
+	}
+	inv := linalg.Identity(dim)
+	for i := 0; i < dim; i++ {
+		inv.Row(i)[i] = 0.5 + rng.Float64()
+	}
+	q := NewQuadraticFull(center, inv)
+	d := NewDisjunctive([]*Quadratic{q}, []float64{1})
+
+	points := make([]linalg.Vector, 256)
+	want := make([]float64, len(points))
+	for i := range points {
+		v := make(linalg.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 2
+		}
+		points[i] = v
+		want[i] = q.Eval(v)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, v := range points {
+					if got := q.Eval(v); got != want[i] {
+						t.Errorf("concurrent Eval(%d) = %v, want %v", i, got, want[i])
+						return
+					}
+					_ = d.Eval(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

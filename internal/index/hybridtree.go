@@ -27,6 +27,8 @@ type HybridTree struct {
 	root         *treeNode
 	leafCapacity int
 	epoch        uint64 // bumped by every Insert; see Epoch
+	parallelism  int    // resolved worker count for leaf evaluation (>= 1)
+	parMinItems  int    // smallest store for which the parallel path engages
 }
 
 type treeNode struct {
@@ -42,6 +44,12 @@ type TreeOptions struct {
 	// NodeSizeBytes models the paper's 4 KB index node: the leaf capacity
 	// is NodeSizeBytes / (8 bytes × dim). Defaults to 4096.
 	NodeSizeBytes int
+	// Parallelism is the worker count for the parallel leaf-evaluation
+	// stage of k-NN search: 0 means GOMAXPROCS, 1 forces the sequential
+	// path, higher values cap the pool. Small stores (below an internal
+	// threshold) always search sequentially — fan-out costs more than the
+	// scan there.
+	Parallelism int
 }
 
 // NewHybridTree bulk-loads the index over the store.
@@ -57,13 +65,31 @@ func NewHybridTree(s *Store, opt TreeOptions) *HybridTree {
 	for i := range ids {
 		ids[i] = i
 	}
-	t := &HybridTree{store: s, leafCapacity: capacity}
+	t := &HybridTree{
+		store:        s,
+		leafCapacity: capacity,
+		parallelism:  resolveParallelism(opt.Parallelism),
+		parMinItems:  parallelMinItems,
+	}
 	t.root = t.build(ids)
 	return t
 }
 
 // LeafCapacity exposes the effective leaf capacity (for tests and docs).
 func (t *HybridTree) LeafCapacity() int { return t.leafCapacity }
+
+// Parallelism reports the resolved search worker count.
+func (t *HybridTree) Parallelism() int { return t.parallelism }
+
+// WithParallelism returns a search-only view of the same tree (shared
+// store and nodes) whose k-NN queries use the given worker count (0 =
+// GOMAXPROCS, 1 = sequential). The view is meant for searching — Insert
+// through a view diverges the epoch counters and must be avoided.
+func (t *HybridTree) WithParallelism(p int) *HybridTree {
+	view := *t
+	view.parallelism = resolveParallelism(p)
+	return &view
+}
 
 // Epoch returns the tree's structural version: it starts at 0 and is
 // bumped by every Insert. Cached node pointers (RefinementSearcher) are
@@ -200,6 +226,9 @@ func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, se
 	if k <= 0 {
 		return nil, stats, nil, ctx.Err()
 	}
+	if t.parallelism > 1 && t.store.Len() >= t.parMinItems {
+		return t.knnSeededParallel(ctx, m, k, seed)
+	}
 	h := newResultHeap(k)
 	seen := map[*treeNode]bool{}
 	var visited []*treeNode
@@ -282,16 +311,43 @@ func (r *RefinementSearcher) KNN(m distance.Metric, k int) ([]Result, SearchStat
 }
 
 // KNNContext is KNN with cooperative cancellation (see
-// HybridTree.KNNContext). An interrupted search still updates the leaf
-// cache with whatever leaves it visited — they remain valid seeds.
+// HybridTree.KNNContext). A completed search replaces the leaf cache
+// with exactly the leaves it visited; an interrupted search instead
+// unions the leaves it reached with the same-epoch cache it was seeded
+// from — the unreached cached leaves are still valid seeds, and
+// discarding them would make the retry start colder than the previous
+// completed search.
 func (r *RefinementSearcher) KNNContext(ctx context.Context, m distance.Metric, k int) ([]Result, SearchStats, error) {
 	if r.epoch != r.tree.epoch {
 		r.cached = nil
 	}
 	res, stats, visited, err := r.tree.knnSeeded(ctx, m, k, r.cached)
-	r.cached = visited
+	if err != nil {
+		r.cached = unionLeaves(visited, r.cached)
+	} else {
+		r.cached = visited
+	}
 	r.epoch = r.tree.epoch
 	return res, stats, err
+}
+
+// unionLeaves returns visited plus every leaf of cached not already in
+// visited, preserving visited's order (the warmest seeds first).
+func unionLeaves(visited, cached []*treeNode) []*treeNode {
+	if len(cached) == 0 {
+		return visited
+	}
+	seen := make(map[*treeNode]bool, len(visited))
+	for _, n := range visited {
+		seen[n] = true
+	}
+	out := visited
+	for _, n := range cached {
+		if !seen[n] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Reset drops the cache (for a fresh query session).

@@ -7,11 +7,14 @@ import (
 	"repro/internal/linalg"
 )
 
-// Append adds a vector to the store and returns its new id. The vector
-// must match the store's dimensionality and be finite. Indexes built
-// over the store do NOT see the new vector automatically — call the
-// index's Insert with the returned id (HybridTree supports this; a
-// VA-file's quantile grid must be rebuilt).
+// Append copies a vector onto the end of the store's contiguous block
+// and returns its new id. The vector must match the store's
+// dimensionality and be finite. Indexes built over the store do NOT see
+// the new vector automatically — call the index's Insert with the
+// returned id (HybridTree supports this; a VA-file's quantile grid must
+// be rebuilt). A grow may reallocate the block; subslices handed out
+// earlier by Vector stay valid (they alias the old block, whose contents
+// are never mutated).
 func (s *Store) Append(v linalg.Vector) (int, error) {
 	if v.Dim() != s.dim {
 		return 0, fmt.Errorf("index: append dim %d, store has %d", v.Dim(), s.dim)
@@ -21,8 +24,9 @@ func (s *Store) Append(v linalg.Vector) (int, error) {
 			return 0, fmt.Errorf("index: append component %d is not finite", d)
 		}
 	}
-	s.vecs = append(s.vecs, v)
-	return len(s.vecs) - 1, nil
+	s.data = append(s.data, v...)
+	s.n++
+	return s.n - 1, nil
 }
 
 // Insert adds store vector id to the tree: it descends to the leaf whose

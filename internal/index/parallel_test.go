@@ -1,0 +1,239 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/faultinject"
+	"repro/internal/linalg"
+)
+
+// forceParallel returns a search view of tree whose parallel path
+// engages regardless of store size.
+func forceParallel(t *HybridTree, workers int) *HybridTree {
+	view := t.WithParallelism(workers)
+	view.parMinItems = 0
+	return view
+}
+
+// The parallel leaf stage must return bit-identical results to the
+// sequential traversal — same IDs, same distances, same order — across
+// many random queries, metrics and k values.
+func TestParallelKNNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	const n, dim = 3000, 8
+	s := randStore(rng, n, dim)
+	seq := NewHybridTree(s, TreeOptions{Parallelism: 1})
+	par := forceParallel(seq, 4)
+
+	queries := 1000
+	if testing.Short() {
+		queries = 100
+	}
+	for qi := 0; qi < queries; qi++ {
+		center := make(linalg.Vector, dim)
+		for d := range center {
+			center[d] = rng.NormFloat64() * 3
+		}
+		var m distance.Metric
+		if qi%3 == 0 {
+			m = distance.NewQuadraticDiag(center, onesInv(rng, dim))
+		} else {
+			m = &distance.Euclidean{Center: center}
+		}
+		k := 1 + rng.Intn(50)
+		want, _ := seq.KNN(m, k)
+		got, stats := par.KNN(m, k)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: parallel returned %d results, sequential %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: parallel %+v != sequential %+v", qi, i, got[i], want[i])
+			}
+		}
+		if stats.DistanceEvals > s.Len() {
+			t.Fatalf("query %d: %d distance evals exceed store size %d (leaf deduplication broken)",
+				qi, stats.DistanceEvals, s.Len())
+		}
+	}
+}
+
+// Parallel search under a shared full-scheme quadratic metric — the
+// exact workload that used to race on the metric's scratch buffer; run
+// with -race in CI.
+func TestParallelKNNSharedFullSchemeMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const n, dim = 4000, 6
+	s := randStore(rng, n, dim)
+	par := forceParallel(NewHybridTree(s, TreeOptions{}), 8)
+
+	center := make(linalg.Vector, dim)
+	inv := linalg.Identity(dim)
+	m := distance.NewQuadraticFull(center, inv)
+	want, _ := NewLinearScan(s).KNN(m, 40)
+	got, _ := par.KNN(m, 40)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: parallel %+v != scan %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Cancelling a parallel search mid-traversal must drain the worker pool
+// and return sorted best-effort results plus the context error.
+func TestParallelKNNContextMidTraversalCancel(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(92))
+	s := randStore(rng, 9000, 8)
+	par := forceParallel(NewHybridTree(s, TreeOptions{NodeSizeBytes: 1024}), 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pops := 0
+	faultinject.Set(faultinject.KNNPop, func() {
+		pops++
+		if pops == 5 {
+			cancel()
+		}
+	})
+	res, _, err := par.KNNContext(ctx, euclid(s.Vector(0)), 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := 1; i < len(res); i++ {
+		if resultLess(res[i], res[i-1]) {
+			t.Fatal("partial results not ascending")
+		}
+	}
+}
+
+// An interrupted refinement search must not shrink the same-epoch leaf
+// cache: the leaves it failed to reach remain valid seeds and are
+// unioned with the ones it visited, so the retry starts at least as
+// warm as the previous completed search.
+func TestRefinementCacheRetainedAcrossInterrupt(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(93))
+	s := randStore(rng, 2000, 4)
+	tree := NewHybridTree(s, TreeOptions{Parallelism: 1, NodeSizeBytes: 256})
+	ref := NewRefinementSearcher(tree)
+
+	m1 := euclid(s.Vector(11))
+	ref.KNN(m1, 60) // completed search warms the cache
+	warm := ref.CachedLeaves()
+	if warm == 0 {
+		t.Fatal("cache not warmed")
+	}
+
+	// Interrupt the next (slightly moved) search almost immediately, so
+	// it visits fewer leaves than are cached.
+	ctx, cancel := context.WithCancel(context.Background())
+	pops := 0
+	faultinject.Set(faultinject.KNNPop, func() {
+		pops++
+		if pops == 1 {
+			cancel()
+		}
+	})
+	m2 := euclid(s.Vector(12))
+	_, _, err := ref.KNNContext(ctx, m2, 60)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	faultinject.Reset()
+
+	if got := ref.CachedLeaves(); got < warm {
+		t.Fatalf("interrupted search shrank the cache: %d leaves, had %d", got, warm)
+	}
+
+	// The retry must still be exact.
+	res, _, err := ref.KNNContext(context.Background(), m2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewLinearScan(s).KNN(m2, 60)
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("retry result %d: %+v != %+v", i, res[i], want[i])
+		}
+	}
+}
+
+// A cache taken at an older epoch is still discarded on interrupt paths:
+// the union applies only to same-epoch caches.
+func TestRefinementCacheInterruptAfterInsertDiscards(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	s := randStore(rng, 1500, 3)
+	tree := NewHybridTree(s, TreeOptions{Parallelism: 1, NodeSizeBytes: 256})
+	ref := NewRefinementSearcher(tree)
+	m := euclid(s.Vector(5))
+	ref.KNN(m, 30)
+	if ref.CachedLeaves() == 0 {
+		t.Fatal("cache not warmed")
+	}
+	id, err := s.Append(s.Vector(5).Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Insert(id)
+	// Pre-cancelled context: the search is interrupted before any work;
+	// the stale cache must have been dropped, not unioned back in.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, cerr := ref.KNNContext(ctx, m, 30)
+	if !errors.Is(cerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", cerr)
+	}
+	if got := ref.CachedLeaves(); got != 0 {
+		t.Fatalf("stale cache survived an insert: %d leaves", got)
+	}
+	res, _ := ref.KNN(m, 30)
+	want, _ := NewLinearScan(s).KNN(m, 30)
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("post-insert result %d: %+v != %+v", i, res[i], want[i])
+		}
+	}
+}
+
+// NewStoreFlat wraps a contiguous block without copying and agrees with
+// the vector-built store.
+func TestNewStoreFlat(t *testing.T) {
+	flat := []float64{1, 2, 3, 4, 5, 6}
+	s, err := NewStoreFlat(flat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Dim() != 2 {
+		t.Fatalf("Len=%d Dim=%d", s.Len(), s.Dim())
+	}
+	if !s.Vector(2).Equal(linalg.Vector{5, 6}, 0) {
+		t.Errorf("Vector(2) = %v", s.Vector(2))
+	}
+	if _, err := NewStoreFlat(nil, 3); err == nil {
+		t.Error("empty block must error")
+	}
+	if _, err := NewStoreFlat([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("ragged block must error")
+	}
+	if _, err := NewStoreFlat([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("non-positive dim must error")
+	}
+}
+
+// Appending through a Vector subslice must not clobber the neighboring
+// vector: the store hands out capacity-capped subslices.
+func TestStoreVectorAliasingSafe(t *testing.T) {
+	s, err := NewStore([]linalg.Vector{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Vector(0)
+	_ = append(v, 99) // must reallocate, not write into vector 1's slot
+	if !s.Vector(1).Equal(linalg.Vector{3, 4}, 0) {
+		t.Fatalf("append through a subslice corrupted vector 1: %v", s.Vector(1))
+	}
+}

@@ -17,8 +17,8 @@ type RangeSearcher interface {
 func (l *LinearScan) Range(m distance.Metric, radius float64) ([]Result, SearchStats) {
 	stats := SearchStats{DistanceEvals: l.store.Len()}
 	var out []Result
-	for id, v := range l.store.vecs {
-		if d := m.Eval(v); d <= radius {
+	for id := 0; id < l.store.Len(); id++ {
+		if d := m.Eval(l.store.Vector(id)); d <= radius {
 			out = append(out, Result{ID: id, Dist: d})
 		}
 	}

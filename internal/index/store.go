@@ -10,23 +10,26 @@ package index
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/distance"
 	"repro/internal/linalg"
 )
 
 // Store is an append-only in-memory feature-vector database. Vector i
-// belongs to image/object i. It does no internal locking — the public
+// belongs to image/object i. All vectors live in one contiguous
+// []float64 block, so leaf scans walk memory sequentially instead of
+// chasing per-vector pointers. It does no internal locking — the public
 // Database layer serializes Append against readers.
 type Store struct {
-	vecs []linalg.Vector
+	data []float64 // n*dim components, vector i at [i*dim, (i+1)*dim)
 	dim  int
+	n    int
 }
 
-// NewStore wraps the given vectors. All vectors must share one
-// dimensionality and be finite (NaN or ±Inf components would silently
-// corrupt every distance comparison); the slice is retained (not copied).
+// NewStore copies the given vectors into one contiguous block. All
+// vectors must share one dimensionality and be finite (NaN or ±Inf
+// components would silently corrupt every distance comparison). The
+// input slice is not retained.
 func NewStore(vecs []linalg.Vector) (*Store, error) {
 	if len(vecs) == 0 {
 		return nil, fmt.Errorf("index: empty store")
@@ -42,17 +45,45 @@ func NewStore(vecs []linalg.Vector) (*Store, error) {
 			}
 		}
 	}
-	return &Store{vecs: vecs, dim: dim}, nil
+	data := make([]float64, 0, len(vecs)*dim)
+	for _, v := range vecs {
+		data = append(data, v...)
+	}
+	return &Store{data: data, dim: dim, n: len(vecs)}, nil
+}
+
+// NewStoreFlat wraps an already-contiguous component block (row-major,
+// one vector per dim components) without copying. len(data) must be a
+// positive multiple of dim and every component finite. The slice is
+// retained.
+func NewStoreFlat(data []float64, dim int) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("index: non-positive dim %d", dim)
+	}
+	if len(data) == 0 || len(data)%dim != 0 {
+		return nil, fmt.Errorf("index: flat block of %d components is not a positive multiple of dim %d", len(data), dim)
+	}
+	for i, x := range data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("index: vector %d component %d is not finite", i/dim, i%dim)
+		}
+	}
+	return &Store{data: data, dim: dim, n: len(data) / dim}, nil
 }
 
 // Len returns the number of vectors.
-func (s *Store) Len() int { return len(s.vecs) }
+func (s *Store) Len() int { return s.n }
 
 // Dim returns the feature dimensionality.
 func (s *Store) Dim() int { return s.dim }
 
-// Vector returns vector id (aliased, treat as read-only).
-func (s *Store) Vector(id int) linalg.Vector { return s.vecs[id] }
+// Vector returns vector id as a subslice of the contiguous block
+// (aliased, treat as read-only). The full slice expression caps the
+// subslice so an append through it cannot clobber the next vector.
+func (s *Store) Vector(id int) linalg.Vector {
+	off := id * s.dim
+	return linalg.Vector(s.data[off : off+s.dim : off+s.dim])
+}
 
 // Result is one k-NN answer: an object id and its query distance.
 type Result struct {
@@ -61,7 +92,10 @@ type Result struct {
 }
 
 // SearchStats records the work a search performed, the cost measures the
-// execution-cost experiments report.
+// execution-cost experiments report. For a parallel search the counts
+// cover all workers; LeavesVisited and DistanceEvals can exceed the
+// sequential traversal's because workers prune against a bound that
+// tightens asynchronously.
 type SearchStats struct {
 	NodesVisited  int // internal + leaf nodes expanded
 	LeavesVisited int
@@ -97,90 +131,10 @@ func (l *LinearScan) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
 	}
 	stats := SearchStats{DistanceEvals: l.store.Len()}
 	h := newResultHeap(k)
-	for id, v := range l.store.vecs {
-		h.offer(Result{ID: id, Dist: m.Eval(v)})
+	for id := 0; id < l.store.Len(); id++ {
+		h.offer(Result{ID: id, Dist: m.Eval(l.store.Vector(id))})
 	}
 	return h.sorted(), stats
-}
-
-// resultHeap is a bounded max-heap keeping the k smallest distances.
-type resultHeap struct {
-	k     int
-	items []Result
-}
-
-func newResultHeap(k int) *resultHeap {
-	return &resultHeap{k: k, items: make([]Result, 0, k+1)}
-}
-
-// bound returns the current kth-best distance, or +Inf when fewer than k
-// results are held. A non-positive k admits nothing: the bound is -Inf.
-func (h *resultHeap) bound() float64 {
-	if h.k <= 0 {
-		return -inf
-	}
-	if len(h.items) < h.k {
-		return inf
-	}
-	return h.items[0].Dist
-}
-
-func (h *resultHeap) offer(r Result) {
-	if h.k <= 0 {
-		return
-	}
-	if len(h.items) < h.k {
-		h.items = append(h.items, r)
-		h.up(len(h.items) - 1)
-		return
-	}
-	if r.Dist >= h.items[0].Dist {
-		return
-	}
-	h.items[0] = r
-	h.down(0)
-}
-
-func (h *resultHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.items[parent].Dist >= h.items[i].Dist {
-			break
-		}
-		h.items[parent], h.items[i] = h.items[i], h.items[parent]
-		i = parent
-	}
-}
-
-func (h *resultHeap) down(i int) {
-	n := len(h.items)
-	for {
-		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && h.items[l].Dist > h.items[largest].Dist {
-			largest = l
-		}
-		if r < n && h.items[r].Dist > h.items[largest].Dist {
-			largest = r
-		}
-		if largest == i {
-			return
-		}
-		h.items[i], h.items[largest] = h.items[largest], h.items[i]
-		i = largest
-	}
-}
-
-func (h *resultHeap) sorted() []Result {
-	out := make([]Result, len(h.items))
-	copy(out, h.items)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
 }
 
 const inf = 1e308

@@ -194,6 +194,30 @@ func (m *Matrix) QuadForm(v Vector) float64 {
 	return s
 }
 
+// QuadFormDiff returns (x-c)' m (x-c) for square m without materializing
+// the difference vector, so concurrent callers share no scratch state —
+// the hot-path form behind the full-scheme quadratic distance when many
+// search workers evaluate one metric at once.
+func (m *Matrix) QuadFormDiff(x, c Vector) float64 {
+	if m.Rows != m.Cols || m.Rows != len(x) || len(x) != len(c) {
+		panic("linalg: QuadFormDiff shape mismatch")
+	}
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		di := x[i] - c[i]
+		if di == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var r float64
+		for j, mv := range row {
+			r += mv * (x[j] - c[j])
+		}
+		s += di * r
+	}
+	return s
+}
+
 // BilinForm returns u' m v for square m.
 func (m *Matrix) BilinForm(u, v Vector) float64 {
 	if m.Rows != len(u) || m.Cols != len(v) {
