@@ -16,6 +16,13 @@
 // collections — and writes BENCH_search.json (see EXPERIMENTS.md):
 //
 //	qbench -exp search -queries 50 -benchout BENCH_search.json
+//
+// The "obs" experiment (also not part of "all") exercises the
+// instrumentation layer: traced feedback sessions yield the per-round
+// cluster evolution and prune ratios, and the same search is timed with
+// tracing on and off. Writes BENCH_obs.json (see EXPERIMENTS.md):
+//
+//	qbench -exp obs -queries 20 -iters 4 -obsout BENCH_obs.json
 package main
 
 import (
@@ -50,6 +57,9 @@ type config struct {
 	// search-experiment knobs
 	parallelism int
 	benchOut    string
+
+	// obs-experiment knob
+	obsOut string
 }
 
 func main() {
@@ -68,6 +78,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 2003, "master random seed")
 	flag.IntVar(&cfg.parallelism, "parallelism", 0, "search workers for -exp search (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_search.json", "JSON output path for -exp search (empty to skip)")
+	flag.StringVar(&cfg.obsOut, "obsout", "BENCH_obs.json", "JSON output path for -exp obs (empty to skip)")
 	flag.Parse()
 
 	ids := expandExperiments(cfg.exp)
@@ -153,6 +164,10 @@ func newRunner(cfg config) *runner {
 		// machine-readable trajectory in BENCH_search.json. Excluded from
 		// "all" — it measures the index, not the paper's figures.
 		"search": r.searchBench,
+		// Instrumentation exercise: per-round cluster evolution from the
+		// trace events, prune ratios, tracing overhead on/off. Excluded
+		// from "all" — it measures the observability layer.
+		"obs": r.obsBench,
 	}
 	return r
 }

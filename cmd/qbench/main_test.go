@@ -31,7 +31,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		}
 	}
 	// ...and the extras must exist too.
-	for _, id := range []string{"fig10v", "fig12v", "fig10c", "fig12c", "ablation", "convergence"} {
+	for _, id := range []string{"fig10v", "fig12v", "fig10c", "fig12c", "ablation", "convergence", "search", "obs"} {
 		if _, ok := r.experiments[id]; !ok {
 			t.Errorf("experiment %q not registered", id)
 		}

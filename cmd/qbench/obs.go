@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	qcluster "repro"
+)
+
+// The obs experiment exercises the instrumentation layer end to end on a
+// synthetic Gaussian-mixture workload driven through the public API:
+// per-round cluster evolution reconstructed from the trace events, leaf
+// prune ratios from the session histograms, and the tracing overhead
+// measured by timing the same search with and without a sink attached.
+// It writes a machine-readable BENCH_obs.json (schema in EXPERIMENTS.md).
+
+// obsRound aggregates the feedback-round trace events of one iteration
+// across all queries.
+type obsRound struct {
+	Round            int     `json:"round"`
+	Sessions         int     `json:"sessions"`
+	MeanClusters     float64 `json:"mean_clusters"`
+	ClassifyAssigned int64   `json:"classify_assigned"`
+	ClassifyNew      int64   `json:"classify_new"`
+	MergesAccepted   int64   `json:"merges_accepted"`
+	MergesForced     int64   `json:"merges_forced"`
+}
+
+// obsOverhead compares the search path with tracing disabled (nil sink,
+// the default) against a MemorySink collecting every event.
+type obsOverhead struct {
+	Searches        int     `json:"searches"`
+	NoSinkNsPerOp   float64 `json:"no_sink_ns_per_op"`
+	MemSinkNsPerOp  float64 `json:"memory_sink_ns_per_op"`
+	OverheadPercent float64 `json:"overhead_percent"`
+}
+
+// obsReport is the BENCH_obs.json document.
+type obsReport struct {
+	Schema         string      `json:"schema"`
+	N              int         `json:"n"`
+	Dim            int         `json:"dim"`
+	Queries        int         `json:"queries"`
+	Iterations     int         `json:"iterations"`
+	K              int         `json:"k"`
+	Seed           int64       `json:"seed"`
+	Rounds         []obsRound  `json:"rounds"`
+	TraceEvents    int         `json:"trace_events"`
+	PruneRatioMean float64     `json:"prune_ratio_mean"`
+	LatencyP50Ms   float64     `json:"latency_p50_ms"`
+	LatencyP95Ms   float64     `json:"latency_p95_ms"`
+	Overhead       obsOverhead `json:"overhead"`
+}
+
+// obsWorld is a Gaussian-mixture collection with category labels; half
+// the categories are bimodal — the paper's complex-query situation.
+func obsWorld(rng *rand.Rand, cats, perCat, dim int) (vectors [][]float64, labels []int) {
+	for c := 0; c < cats; c++ {
+		modes := 1 + c%2
+		centers := make([][]float64, modes)
+		for m := range centers {
+			ctr := make([]float64, dim)
+			for d := range ctr {
+				ctr[d] = rng.NormFloat64() * 5
+			}
+			centers[m] = ctr
+		}
+		// A wide within-mode spread makes category items surface
+		// gradually over the feedback rounds instead of all at once, so
+		// the classification/merge machinery has work to trace each round.
+		for i := 0; i < perCat; i++ {
+			ctr := centers[i%modes]
+			v := make([]float64, dim)
+			for d := range v {
+				v[d] = ctr[d] + rng.NormFloat64()*2.5
+			}
+			vectors = append(vectors, v)
+			labels = append(labels, c)
+		}
+	}
+	return vectors, labels
+}
+
+func (r *runner) obsBench() {
+	const dim = 8
+	cats := r.cfg.cats
+	if cats > 20 {
+		cats = 20 // the experiment measures instrumentation, not recall
+	}
+	perCat := r.cfg.perCat
+	rng := rand.New(rand.NewSource(r.cfg.seed))
+	vectors, labels := obsWorld(rng, cats, perCat, dim)
+	db, err := qcluster.NewDatabase(vectors)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building collection: %v\n", err)
+		os.Exit(1)
+	}
+
+	report := obsReport{
+		Schema:     "qcluster-bench-obs/v1",
+		N:          len(vectors),
+		Dim:        dim,
+		Queries:    r.cfg.queries,
+		Iterations: r.cfg.iters,
+		K:          r.cfg.k,
+		Seed:       r.cfg.seed,
+		Rounds:     make([]obsRound, r.cfg.iters),
+	}
+	for i := range report.Rounds {
+		report.Rounds[i].Round = i + 1
+	}
+	fmt.Printf("instrumented feedback sessions: %d queries x %d iterations, k=%d, N=%d dim=%d\n\n",
+		report.Queries, report.Iterations, report.K, report.N, report.Dim)
+
+	// Traced feedback sessions: one MemorySink per session, events
+	// folded into the per-round evolution table.
+	var pruneSum float64
+	var pruneN int64
+	var latencies []float64
+	for qi := 0; qi < r.cfg.queries; qi++ {
+		queryID := rng.Intn(len(vectors))
+		sink := &qcluster.MemorySink{}
+		s := db.NewSession(db.Vector(queryID), qcluster.Options{Sink: sink})
+		for it := 0; it < r.cfg.iters; it++ {
+			res := s.Results(r.cfg.k)
+			var marked []qcluster.Point
+			for _, rr := range res {
+				if labels[rr.ID] == labels[queryID] {
+					marked = append(marked, qcluster.Point{ID: rr.ID, Vec: db.Vector(rr.ID), Score: 3})
+				}
+			}
+			if err := s.MarkRelevant(marked); err != nil {
+				fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		report.TraceEvents += len(sink.Events())
+		foldRounds(report.Rounds, sink.Events())
+
+		st := s.Stats()
+		pruneSum += st.PruneRatio.Mean() * float64(st.PruneRatio.Count)
+		pruneN += st.PruneRatio.Count
+		latencies = append(latencies,
+			st.SearchLatencySeconds.Quantile(0.50)*1e3,
+			st.SearchLatencySeconds.Quantile(0.95)*1e3)
+	}
+	if pruneN > 0 {
+		report.PruneRatioMean = pruneSum / float64(pruneN)
+	}
+	if len(latencies) > 0 {
+		var p50, p95 float64
+		for i := 0; i < len(latencies); i += 2 {
+			p50 += latencies[i]
+			p95 += latencies[i+1]
+		}
+		report.LatencyP50Ms = p50 / float64(len(latencies)/2)
+		report.LatencyP95Ms = p95 / float64(len(latencies)/2)
+	}
+
+	fmt.Printf("%6s %9s %14s %14s %10s %9s %8s\n",
+		"round", "sessions", "mean clusters", "assigned", "new", "merged", "forced")
+	for _, rd := range report.Rounds {
+		fmt.Printf("%6d %9d %14.2f %14d %10d %9d %8d\n",
+			rd.Round, rd.Sessions, rd.MeanClusters,
+			rd.ClassifyAssigned, rd.ClassifyNew, rd.MergesAccepted, rd.MergesForced)
+	}
+	fmt.Printf("\ntrace events collected: %d; mean prune ratio %.3f; search latency p50 %.3f ms, p95 %.3f ms\n",
+		report.TraceEvents, report.PruneRatioMean, report.LatencyP50Ms, report.LatencyP95Ms)
+
+	report.Overhead = measureObsOverhead(db, vectors, r.cfg.k, r.cfg.queries)
+	fmt.Printf("tracing overhead over %d searches: nil sink %.0f ns/op, memory sink %.0f ns/op (%+.1f%%)\n",
+		report.Overhead.Searches, report.Overhead.NoSinkNsPerOp,
+		report.Overhead.MemSinkNsPerOp, report.Overhead.OverheadPercent)
+
+	if r.cfg.obsOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", r.cfg.obsOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(r.cfg.obsOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", r.cfg.obsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", r.cfg.obsOut)
+	}
+}
+
+// foldRounds accumulates one session's trace into the per-round table.
+// Rounds are matched by the "round" field on the feedback.round span;
+// classify/merge events belong to the most recent round start.
+func foldRounds(rounds []obsRound, events []qcluster.TraceEvent) {
+	cur := -1
+	for _, e := range events {
+		if e.Span == "feedback.round" && e.Name == "start" {
+			if n, ok := e.Field("round").(int); ok && n >= 1 && n <= len(rounds) {
+				cur = n - 1
+				rounds[cur].Sessions++
+			} else {
+				cur = -1
+			}
+			continue
+		}
+		if cur < 0 {
+			continue
+		}
+		rd := &rounds[cur]
+		switch e.Name {
+		case "classify.assign":
+			rd.ClassifyAssigned++
+		case "classify.new_cluster":
+			rd.ClassifyNew++
+		case "merge.done":
+			if n, ok := e.Field("accepted").(int); ok {
+				rd.MergesAccepted += int64(n)
+			}
+			if n, ok := e.Field("forced").(int); ok {
+				rd.MergesForced += int64(n)
+			}
+		case "end":
+			if e.Span == "feedback.round" {
+				if n, ok := e.Field("clusters").(int); ok {
+					// Running mean over the sessions that reached this round.
+					rd.MeanClusters += (float64(n) - rd.MeanClusters) / float64(rd.Sessions)
+				}
+				cur = -1
+			}
+		}
+	}
+}
+
+// measureObsOverhead times the identical refined search with tracing
+// disabled and with a MemorySink attached.
+func measureObsOverhead(db *qcluster.Database, vectors [][]float64, k, searches int) obsOverhead {
+	if searches < 10 {
+		searches = 10
+	}
+	time1 := func(sink qcluster.Sink) float64 {
+		q := qcluster.NewQuery(qcluster.Options{Sink: sink})
+		if err := q.Feedback([]qcluster.Point{
+			{ID: 0, Vec: vectors[0], Score: 3},
+			{ID: 1, Vec: vectors[1], Score: 3},
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "overhead feedback: %v\n", err)
+			os.Exit(1)
+		}
+		db.Search(q, k) // warm up
+		t0 := time.Now()
+		for i := 0; i < searches; i++ {
+			db.Search(q, k)
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(searches)
+	}
+	o := obsOverhead{
+		Searches:       searches,
+		NoSinkNsPerOp:  time1(nil),
+		MemSinkNsPerOp: time1(&qcluster.MemorySink{}),
+	}
+	if o.NoSinkNsPerOp > 0 {
+		o.OverheadPercent = 100 * (o.MemSinkNsPerOp - o.NoSinkNsPerOp) / o.NoSinkNsPerOp
+	}
+	return o
+}

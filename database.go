@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/distance"
 	"repro/internal/index"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // Result is one retrieval answer.
@@ -32,6 +34,7 @@ type Database struct {
 	mu    sync.RWMutex
 	store *index.Store
 	tree  *index.HybridTree
+	met   *dbMetrics // always non-nil; see Metrics and ServeDebug
 }
 
 // IndexOptions tunes the database's search index. The zero value is the
@@ -64,13 +67,16 @@ func NewDatabaseWithOptions(vectors [][]float64, opt IndexOptions) (_ *Database,
 	if err != nil {
 		return nil, fmt.Errorf("qcluster: %w", err)
 	}
-	return &Database{
+	db := &Database{
 		store: store,
 		tree: index.NewHybridTree(store, index.TreeOptions{
 			NodeSizeBytes: opt.NodeSizeBytes,
 			Parallelism:   opt.SearchParallelism,
 		}),
-	}, nil
+		met: newDBMetrics(),
+	}
+	db.met.items.Set(float64(store.Len()))
+	return db, nil
 }
 
 // Add appends a new item to the database and the index, returning its
@@ -85,6 +91,8 @@ func (db *Database) Add(vector []float64) (id int, err error) {
 		return 0, fmt.Errorf("qcluster: %w", err)
 	}
 	db.tree.Insert(id)
+	db.met.adds.Inc()
+	db.met.items.Set(float64(db.store.Len()))
 	return id, nil
 }
 
@@ -115,12 +123,15 @@ func (db *Database) Vector(id int) []float64 {
 // SearchByExampleContext for a typed ErrDimensionMismatch).
 func (db *Database) SearchByExample(example []float64, k int) []Result {
 	if len(example) != db.Dim() {
+		db.met.dimMismatch.Inc()
 		return nil
 	}
 	m := &distance.Euclidean{Center: linalg.Vector(example)}
+	start := time.Now()
 	db.mu.RLock()
-	res, _ := db.tree.KNN(m, k)
+	res, stats := db.tree.KNN(m, k)
 	db.mu.RUnlock()
+	db.met.observeSearch(time.Since(start), k, len(res), stats, false)
 	return convertResults(res)
 }
 
@@ -135,13 +146,16 @@ func (db *Database) SearchByExampleContext(ctx context.Context, example []float6
 		return nil, fmt.Errorf("qcluster: search not started: %w", err)
 	}
 	if len(example) != db.Dim() {
+		db.met.dimMismatch.Inc()
 		return nil, fmt.Errorf("qcluster: example has dimension %d, database has %d: %w",
 			len(example), db.Dim(), ErrDimensionMismatch)
 	}
 	m := &distance.Euclidean{Center: linalg.Vector(example)}
+	start := time.Now()
 	db.mu.RLock()
-	res, _, cerr := db.tree.KNNContext(ctx, m, k)
+	res, stats, cerr := db.tree.KNNContext(ctx, m, k)
 	db.mu.RUnlock()
+	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
 	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
@@ -152,12 +166,18 @@ func (db *Database) SearchByExampleContext(ctx context.Context, example []float6
 // ErrNotReady, or SearchByExample for the initial retrieval.
 func (db *Database) Search(q *Query, k int) []Result {
 	if !q.Ready() {
+		db.met.notReady.Inc()
 		return nil
 	}
 	m := q.metric()
+	if q.Health().Degraded() {
+		db.met.degraded.Inc()
+	}
+	start := time.Now()
 	db.mu.RLock()
-	res, _ := db.tree.KNN(m, k)
+	res, stats := db.tree.KNN(m, k)
 	db.mu.RUnlock()
+	db.met.observeSearch(time.Since(start), k, len(res), stats, false)
 	return convertResults(res)
 }
 
@@ -172,12 +192,18 @@ func (db *Database) SearchContext(ctx context.Context, q *Query, k int) (_ []Res
 		return nil, fmt.Errorf("qcluster: search not started: %w", err)
 	}
 	if !q.Ready() {
+		db.met.notReady.Inc()
 		return nil, fmt.Errorf("qcluster: %w", ErrNotReady)
 	}
 	m := q.metric()
+	if q.Health().Degraded() {
+		db.met.degraded.Inc()
+	}
+	start := time.Now()
 	db.mu.RLock()
-	res, _, cerr := db.tree.KNNContext(ctx, m, k)
+	res, stats, cerr := db.tree.KNNContext(ctx, m, k)
 	db.mu.RUnlock()
+	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
 	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
@@ -194,11 +220,14 @@ func convertResults(rs []index.Result) []Result {
 // for concurrent use; its refinement cache and query model are guarded
 // internally.
 type Session struct {
-	mu       sync.Mutex // guards searcher (and orders query snapshots)
-	db       *Database
-	query    *Query
-	example  linalg.Vector
-	searcher *index.RefinementSearcher
+	mu        sync.Mutex // guards searcher and lastStats (and orders query snapshots)
+	db        *Database
+	query     *Query
+	example   linalg.Vector
+	searcher  *index.RefinementSearcher
+	met       *sessionMetrics   // always non-nil; see Stats
+	lastStats index.SearchStats // index work of the most recent search
+	sink      Sink              // trace sink from Options (nil = disabled)
 }
 
 // NewSession starts a retrieval session from an example feature vector.
@@ -212,6 +241,8 @@ func (db *Database) NewSession(example []float64, opt Options) *Session {
 		query:    NewQuery(opt),
 		example:  linalg.Vector(example).Clone(),
 		searcher: index.NewRefinementSearcher(db.tree),
+		met:      newSessionMetrics(),
+		sink:     opt.Sink,
 	}
 }
 
@@ -238,20 +269,41 @@ func (s *Session) ResultsContext(ctx context.Context, k int) (_ []Result, err er
 
 func (s *Session) results(ctx context.Context, k int) ([]Result, error) {
 	var m distance.Metric
-	if s.query.Ready() {
+	refined := s.query.Ready()
+	if refined {
 		m = s.query.metric()
+		if s.query.Health().Degraded() {
+			s.met.degraded.Inc()
+			s.db.met.degraded.Inc()
+		}
 	} else {
 		if len(s.example) != s.db.Dim() {
+			s.db.met.dimMismatch.Inc()
 			return nil, fmt.Errorf("qcluster: session example has dimension %d, database has %d: %w",
 				len(s.example), s.db.Dim(), ErrDimensionMismatch)
 		}
 		m = &distance.Euclidean{Center: s.example}
 	}
+	start := time.Now()
 	s.mu.Lock()
 	s.db.mu.RLock()
-	res, _, cerr := s.searcher.KNNContext(ctx, m, k)
+	res, stats, cerr := s.searcher.KNNContext(ctx, m, k)
 	s.db.mu.RUnlock()
+	s.lastStats = stats
 	s.mu.Unlock()
+	elapsed := time.Since(start)
+	s.met.observeSearch(elapsed, stats, cerr != nil)
+	s.db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
+	if s.sink != nil {
+		obs.EmitEvent(s.sink, "search.done",
+			obs.F("k", k), obs.F("results", len(res)),
+			obs.F("refined", refined),
+			obs.F("latency_ms", elapsed.Seconds()*1e3),
+			obs.F("leaves_visited", stats.LeavesVisited),
+			obs.F("cache_seed_leaves", stats.CacheSeedLeaves),
+			obs.F("prune_ratio", stats.PruneRatio()),
+			obs.F("partial", cerr != nil))
+	}
 	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
@@ -275,7 +327,25 @@ func (s *Session) MarkRelevant(points []Point) (err error) {
 			return err
 		}
 	}
-	return s.query.Feedback(points)
+	rounds := s.query.rounds()
+	if err := s.query.Feedback(points); err != nil {
+		return err
+	}
+	// Count the round only when the model absorbed something new (the
+	// model skips rounds of already-seen or non-positive points).
+	if s.query.rounds() > rounds {
+		s.met.rounds.Inc()
+		s.db.met.feedbackRnds.Inc()
+		marked := 0
+		for _, p := range points {
+			if p.Score > 0 {
+				marked++
+			}
+		}
+		s.met.points.Add(int64(marked))
+		s.db.met.feedbackPts.Add(int64(marked))
+	}
+	return nil
 }
 
 // Health returns the session query's health status — the degradation

@@ -9,20 +9,10 @@ import "repro/internal/core"
 // the ridge-regularized inverse (the regularization the paper cites from
 // Zhou & Huang for the small-sample singularity problem) and reports the
 // fallback here. The zero value means "healthy".
-type Health struct {
-	// Clusters is the number of query points in the last-built metric
-	// (0 before any search with feedback has run).
-	Clusters int
-	// DegradedClusters counts clusters whose covariance was singular and
-	// whose distance came from a fallback: a ridge-regularized full
-	// inverse or a floored variance.
-	DegradedClusters int
-}
-
-// Degraded reports whether any cluster needed a covariance fallback in
-// the last-built metric.
-func (h Health) Degraded() bool { return h.DegradedClusters > 0 }
-
-func healthFromCore(h core.Health) Health {
-	return Health{Clusters: h.Clusters, DegradedClusters: h.DegradedClusters}
-}
+//
+// Health is an alias of the internal core type — one definition, so the
+// public and internal views cannot drift. Fields: Clusters (query
+// points in the last-built metric) and DegradedClusters (clusters whose
+// distance came from a regularized/floored covariance fallback); the
+// Degraded method reports whether any fallback fired.
+type Health = core.Health

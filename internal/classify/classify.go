@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/stat"
 )
 
@@ -26,6 +27,11 @@ type Options struct {
 	// effective radius (Lemma 1 read literally: always χ²_p(1-α)).
 	// Exposed for ablation studies; see RadiusFor.
 	PlainChiSquareRadius bool
+	// Trace, when non-nil, receives one event per Algorithm-2 decision
+	// in ClassifyAll: "classify.assign" (point joined the Eq. 10 winner)
+	// or "classify.new_cluster" (point fell outside the winner's χ²/F
+	// effective radius and seeded a new cluster).
+	Trace *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -179,12 +185,29 @@ func ClassifyAll(cs []*cluster.Cluster, points []cluster.Point, opt Options) []*
 	for _, p := range points {
 		if len(work) == 0 {
 			work = append(work, cluster.FromPoint(p))
+			opt.Trace.Event("classify.new_cluster",
+				obs.F("point_id", p.ID), obs.F("clusters", len(work)))
 			continue
 		}
 		cl := New(work, opt)
-		if k := cl.Assign(p.Vec); k >= 0 {
+		// The decision of Assign, opened up so the trace can record the
+		// Eq. 10 winner and the radius test outcome.
+		k, score := cl.Best(p.Vec)
+		if cl.InsideRadius(k, p.Vec) {
 			work[k].Add(p)
+			if opt.Trace.Enabled() {
+				opt.Trace.Event("classify.assign",
+					obs.F("point_id", p.ID), obs.F("cluster", k),
+					obs.F("score", score))
+			}
 		} else {
+			if opt.Trace.Enabled() {
+				opt.Trace.Event("classify.new_cluster",
+					obs.F("point_id", p.ID), obs.F("nearest", k),
+					obs.F("mahalanobis", work[k].Mahalanobis(p.Vec, opt.Scheme)),
+					obs.F("radius", cl.RadiusFor(k)),
+					obs.F("clusters", len(work)+1))
+			}
 			work = append(work, cluster.FromPoint(p))
 		}
 	}

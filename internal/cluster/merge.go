@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/stat"
 )
 
@@ -23,6 +24,11 @@ type MergeOptions struct {
 	// paper's Algorithm 3 read literally. Exposed for ablation studies;
 	// see decideMerge for why the criterion exists.
 	DisableOverlap bool
+	// Trace, when non-nil, receives one "merge.accept" event per
+	// test-passing merge, one "merge.forced" event per bound-enforcing
+	// merge, and a closing "merge.done" summary (pairs tested, accepted,
+	// forced, final cluster count).
+	Trace *obs.Span
 }
 
 func (o MergeOptions) withDefaults() MergeOptions {
@@ -97,6 +103,7 @@ func Merge(cs []*Cluster, opt MergeOptions) []*Cluster {
 	// Work on a copy.
 	work := make([]*Cluster, len(cs))
 	copy(work, cs)
+	var tested, accepted, forced int
 
 	// Phase 1: merge while pairs pass the tests at the configured α. The
 	// pair with the smallest T²/c² ratio merges first. g is small (tens
@@ -105,8 +112,10 @@ func Merge(cs []*Cluster, opt MergeOptions) []*Cluster {
 	for len(work) > 1 {
 		bestI, bestJ := -1, -1
 		bestRatio := math.Inf(1)
+		var bestT2, bestC2 float64
 		for i := 0; i < len(work); i++ {
 			for j := i + 1; j < len(work); j++ {
+				tested++
 				ok, t2, c2 := decideMerge(work[i], work[j], opt)
 				if !ok {
 					continue
@@ -114,6 +123,7 @@ func Merge(cs []*Cluster, opt MergeOptions) []*Cluster {
 				ratio := t2 / math.Max(c2, 1e-300)
 				if ratio < bestRatio {
 					bestRatio, bestI, bestJ = ratio, i, j
+					bestT2, bestC2 = t2, c2
 				}
 			}
 		}
@@ -121,6 +131,12 @@ func Merge(cs []*Cluster, opt MergeOptions) []*Cluster {
 			break
 		}
 		work = mergeAt(work, bestI, bestJ)
+		accepted++
+		if opt.Trace.Enabled() {
+			opt.Trace.Event("merge.accept",
+				obs.F("t2", bestT2), obs.F("c2", bestC2),
+				obs.F("clusters", len(work)))
+		}
 	}
 
 	// Phase 2: if the cluster count still exceeds the bound, merge the
@@ -132,17 +148,31 @@ func Merge(cs []*Cluster, opt MergeOptions) []*Cluster {
 		for len(work) > opt.MaxClusters && len(work) > 1 {
 			bestI, bestJ := 0, 1
 			bestRatio := math.Inf(1)
+			var bestT2, bestC2 float64
 			for i := 0; i < len(work); i++ {
 				for j := i + 1; j < len(work); j++ {
+					tested++
 					_, t2, c2 := decideMerge(work[i], work[j], opt)
 					ratio := t2 / math.Max(c2, 1e-300)
 					if ratio < bestRatio {
 						bestRatio, bestI, bestJ = ratio, i, j
+						bestT2, bestC2 = t2, c2
 					}
 				}
 			}
 			work = mergeAt(work, bestI, bestJ)
+			forced++
+			if opt.Trace.Enabled() {
+				opt.Trace.Event("merge.forced",
+					obs.F("t2", bestT2), obs.F("c2", bestC2),
+					obs.F("clusters", len(work)))
+			}
 		}
+	}
+	if opt.Trace.Enabled() {
+		opt.Trace.Event("merge.done",
+			obs.F("pairs_tested", tested), obs.F("accepted", accepted),
+			obs.F("forced", forced), obs.F("clusters", len(work)))
 	}
 	return work
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/distance"
 	"repro/internal/faultinject"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // Options tunes the query model. The zero value gives the paper's
@@ -85,7 +86,9 @@ type QueryModel struct {
 	clusters []*cluster.Cluster
 	seen     map[int]bool // image ids already absorbed
 	opt      Options
-	health   Health // degradation trace of the last Metric construction
+	health   Health   // degradation trace of the last Metric construction
+	sink     obs.Sink // trace sink; nil disables tracing (see SetSink)
+	rounds   int      // feedback rounds that absorbed at least one point
 }
 
 // Health is the query-health status: it records how the most recent
@@ -112,6 +115,19 @@ func New(opt Options) *QueryModel {
 
 // Options returns the effective (defaulted) options.
 func (m *QueryModel) Options() Options { return m.opt }
+
+// SetSink attaches a trace sink: every later feedback round emits a
+// "feedback.round" span whose events record the Algorithm-2
+// classification decisions, the Algorithm-3 merge accepts, and the
+// final cluster count; every metric construction emits a
+// "metric.build" event. A nil sink (the default) disables tracing at
+// zero cost. The sink is runtime wiring, not model state — it is not
+// persisted by Save.
+func (m *QueryModel) SetSink(s obs.Sink) { m.sink = s }
+
+// Rounds returns the number of feedback rounds that absorbed at least
+// one new point.
+func (m *QueryModel) Rounds() int { return m.rounds }
 
 // NumClusters returns the current number of query points g.
 func (m *QueryModel) NumClusters() int { return len(m.clusters) }
@@ -151,6 +167,10 @@ func (m *QueryModel) Feedback(points []cluster.Point) {
 	if len(fresh) == 0 {
 		return
 	}
+	m.rounds++
+	span := obs.StartSpan(m.sink, "feedback.round",
+		obs.F("round", m.rounds), obs.F("new_points", len(fresh)),
+		obs.F("clusters_before", len(m.clusters)))
 
 	if len(m.clusters) == 0 {
 		// Initial iteration (Sec. 4.1): hierarchical clustering groups
@@ -169,11 +189,17 @@ func (m *QueryModel) Feedback(points []cluster.Point) {
 			for i, p := range fresh {
 				m.clusters[i] = cluster.FromPoint(p)
 			}
+			span.Event("initial.cluster",
+				obs.F("path", "singletons"), obs.F("clusters", len(m.clusters)))
 		} else {
 			m.clusters = cluster.AgglomerateGap(fresh, m.opt.InitialLinkage, m.opt.InitialGapFactor)
+			span.Event("initial.cluster",
+				obs.F("path", "hierarchical"), obs.F("clusters", len(m.clusters)))
 		}
 	} else {
-		m.clusters = classify.ClassifyAll(m.clusters, fresh, m.classifyOptions())
+		copt := m.classifyOptions()
+		copt.Trace = span
+		m.clusters = classify.ClassifyAll(m.clusters, fresh, copt)
 	}
 
 	m.clusters = cluster.Merge(m.clusters, cluster.MergeOptions{
@@ -181,7 +207,9 @@ func (m *QueryModel) Feedback(points []cluster.Point) {
 		Alpha:          m.opt.Alpha,
 		MaxClusters:    m.opt.MaxClusters,
 		DisableOverlap: m.opt.Ablations.NoOverlapMerge,
+		Trace:          span,
 	})
+	span.End(obs.F("clusters", len(m.clusters)))
 }
 
 func (m *QueryModel) classifyOptions() classify.Options {
@@ -216,6 +244,13 @@ func (m *QueryModel) MetricInfo() (distance.Metric, Health) {
 	}
 	metric, info := distance.FromClustersShrunkInfo(m.clusters, m.opt.Scheme, tau)
 	m.health = Health{Clusters: info.Clusters, DegradedClusters: info.DegradedClusters}
+	if m.sink != nil {
+		obs.EmitEvent(m.sink, "metric.build",
+			obs.F("scheme", info.Scheme.String()),
+			obs.F("clusters", info.Clusters),
+			obs.F("degraded_clusters", info.DegradedClusters),
+			obs.F("tau", info.Tau))
+	}
 	return metric, m.health
 }
 

@@ -207,6 +207,11 @@ type BuildInfo struct {
 	// whose quadratic form therefore came from a fallback: a floored
 	// variance (either scheme) or the ridge-regularized full inverse.
 	DegradedClusters int
+	// Scheme is the covariance scheme the metric was constructed under.
+	Scheme cluster.Scheme
+	// Tau is the shrinkage prior strength the construction used (0 means
+	// raw sample covariances — the ablation path).
+	Tau float64
 }
 
 // Degraded reports whether any cluster needed a covariance fallback.
@@ -218,7 +223,7 @@ func FromClustersShrunkInfo(cs []*cluster.Cluster, scheme cluster.Scheme, tau fl
 	if len(cs) == 0 {
 		panic("distance: no clusters")
 	}
-	info := BuildInfo{Clusters: len(cs)}
+	info := BuildInfo{Clusters: len(cs), Scheme: scheme, Tau: tau}
 	pooled := cluster.PooledAll(cs)
 	parts := make([]*Quadratic, len(cs))
 	ws := make([]float64, len(cs))

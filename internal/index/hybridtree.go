@@ -29,6 +29,7 @@ type HybridTree struct {
 	epoch        uint64 // bumped by every Insert; see Epoch
 	parallelism  int    // resolved worker count for leaf evaluation (>= 1)
 	parMinItems  int    // smallest store for which the parallel path engages
+	numLeaves    int    // leaf count, maintained by build and Insert re-splits
 }
 
 type treeNode struct {
@@ -72,11 +73,26 @@ func NewHybridTree(s *Store, opt TreeOptions) *HybridTree {
 		parMinItems:  parallelMinItems,
 	}
 	t.root = t.build(ids)
+	t.numLeaves = countLeaves(t.root)
 	return t
+}
+
+func countLeaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
 }
 
 // LeafCapacity exposes the effective leaf capacity (for tests and docs).
 func (t *HybridTree) LeafCapacity() int { return t.leafCapacity }
+
+// NumLeaves reports the current leaf count (the denominator of search
+// prune ratios).
+func (t *HybridTree) NumLeaves() int { return t.numLeaves }
 
 // Parallelism reports the resolved search worker count.
 func (t *HybridTree) Parallelism() int { return t.parallelism }
@@ -223,6 +239,8 @@ func (t *HybridTree) KNNContext(ctx context.Context, m distance.Metric, k int) (
 // then the best found so far, still sorted).
 func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, seed []*treeNode) ([]Result, SearchStats, []*treeNode, error) {
 	var stats SearchStats
+	stats.LeavesTotal = t.numLeaves
+	stats.Workers = 1
 	if k <= 0 {
 		return nil, stats, nil, ctx.Err()
 	}
@@ -248,6 +266,7 @@ func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, se
 		}
 		if n.isLeaf() && !seen[n] {
 			seen[n] = true
+			stats.CacheSeedLeaves++
 			evalLeaf(n)
 		}
 	}

@@ -58,6 +58,7 @@ func (t *HybridTree) Insert(id int) {
 		ids := n.items
 		rebuilt := t.build(ids)
 		*n = *rebuilt
+		t.numLeaves += countLeaves(n) - 1 // the leaf became a subtree
 	}
 }
 

@@ -81,7 +81,9 @@ func (b *sharedBound) tighten(v float64) {
 // sequential search would start with), then switches to dispatching.
 func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k int, seed []*treeNode) ([]Result, SearchStats, []*treeNode, error) {
 	var stats SearchStats
+	stats.LeavesTotal = t.numLeaves
 	workers := t.parallelism
+	stats.Workers = workers
 	bound := newSharedBound()
 
 	ch := make(chan []*treeNode, workers)
@@ -118,6 +120,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 			ch <- pending
 			pending = nil
 			pendingItems = 0
+			stats.ParallelBatches++
 		}
 	}
 	evalLeaf := func(n *treeNode) {
@@ -158,6 +161,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 		}
 		if n.isLeaf() && !seen[n] {
 			seen[n] = true
+			stats.CacheSeedLeaves++
 			evalLeaf(n)
 		}
 	}

@@ -100,13 +100,44 @@ type SearchStats struct {
 	NodesVisited  int // internal + leaf nodes expanded
 	LeavesVisited int
 	DistanceEvals int
+	// LeavesTotal is the number of leaves in the index at search time;
+	// LeavesTotal - LeavesVisited is the pruned count (see PruneRatio).
+	// 0 for searchers without a leaf structure (LinearScan).
+	LeavesTotal int
+	// CacheSeedLeaves counts leaves evaluated from the refinement
+	// searcher's cross-iteration cache before the traversal started —
+	// the cache hits of the multipoint refinement approach.
+	CacheSeedLeaves int
+	// Workers is the resolved leaf-evaluation worker count the search
+	// ran with (1 = sequential path).
+	Workers int
+	// ParallelBatches counts leaf batches dispatched to the worker pool
+	// (0 on the sequential path).
+	ParallelBatches int
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s: work counters sum; Workers keeps the
+// maximum (it describes a configuration, not work done).
 func (s *SearchStats) Add(other SearchStats) {
 	s.NodesVisited += other.NodesVisited
 	s.LeavesVisited += other.LeavesVisited
 	s.DistanceEvals += other.DistanceEvals
+	s.LeavesTotal += other.LeavesTotal
+	s.CacheSeedLeaves += other.CacheSeedLeaves
+	s.ParallelBatches += other.ParallelBatches
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
+}
+
+// PruneRatio is the fraction of index leaves the search never touched:
+// 1 - LeavesVisited/LeavesTotal, or 0 when no leaf structure exists.
+// Accumulated stats yield the visit-weighted aggregate ratio.
+func (s SearchStats) PruneRatio() float64 {
+	if s.LeavesTotal <= 0 || s.LeavesVisited >= s.LeavesTotal {
+		return 0
+	}
+	return 1 - float64(s.LeavesVisited)/float64(s.LeavesTotal)
 }
 
 // Searcher answers k-NN queries for a metric.
@@ -129,7 +160,7 @@ func (l *LinearScan) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
 	if k <= 0 {
 		return nil, SearchStats{}
 	}
-	stats := SearchStats{DistanceEvals: l.store.Len()}
+	stats := SearchStats{DistanceEvals: l.store.Len(), Workers: 1}
 	h := newResultHeap(k)
 	for id := 0; id < l.store.Len(); id++ {
 		h.offer(Result{ID: id, Dist: m.Eval(l.store.Vector(id))})

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %v, want 0", g.Value())
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 land in le=1; 5 in le=10; 50 in le=100; 500 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", s.Sum)
+	}
+	if got := s.Mean(); got != 556.5/5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram([]float64{100, 1, 10})
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Bounds[0] != 1 || s.Bounds[1] != 10 || s.Bounds[2] != 100 {
+		t.Fatalf("bounds not sorted: %v", s.Bounds)
+	}
+	if s.Counts[1] != 1 {
+		t.Fatalf("5 should land in le=10: %v", s.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%4) + 0.5) // uniform over the four buckets
+	}
+	s := h.Snapshot()
+	med := s.Quantile(0.5)
+	if med < 1 || med > 3 {
+		t.Fatalf("median = %v, want within [1, 3]", med)
+	}
+	if q := s.Quantile(0); q < 0 || q > 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q < 3 || q > 4 {
+		t.Fatalf("q1 = %v, want in (3, 4]", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile should be 0")
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(100)
+	h.Observe(200)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 1 {
+		t.Fatalf("overflow-bucket quantile = %v, want largest finite bound 1", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// lookups, writes and snapshots interleaved — and checks exact totals.
+// Run under -race this is the concurrency-safety proof for the package.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("hits")
+			g := reg.Gauge("level")
+			h := reg.Histogram("lat", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.25)
+				if i%500 == 0 {
+					_ = reg.Snapshot() // snapshot while writing
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if got := s.Counters["hits"]; got != workers*perWorker {
+		t.Fatalf("hits = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauges["level"]; got != workers*perWorker {
+		t.Fatalf("level = %v, want %d", got, workers*perWorker)
+	}
+	h := s.Histograms["lat"]
+	if h.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var bucketTotal int64
+	for _, c := range h.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != h.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, h.Count)
+	}
+	wantSum := float64(workers) * perWorker / 4 * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(h.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum, wantSum)
+	}
+}
+
+func TestRegistryReturnsSameHandle(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("counter handle not stable")
+	}
+	if reg.Gauge("g") != reg.Gauge("g") {
+		t.Fatal("gauge handle not stable")
+	}
+	if reg.Histogram("h", []float64{1}) != reg.Histogram("h", []float64{2}) {
+		t.Fatal("histogram handle not stable")
+	}
+}
+
+// TestHotPathAllocationFree asserts the acceptance criterion that every
+// metric write on a pre-resolved handle performs zero allocations.
+func TestHotPathAllocationFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(LatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Fatalf("Counter writes allocate %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1); g.Add(0.5) }); n != 0 {
+		t.Fatalf("Gauge writes allocate %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%10) * 1e-4)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(LatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(2.5e-4)
+		}
+	})
+}

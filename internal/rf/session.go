@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // Iteration is the outcome of one retrieval round.
@@ -29,6 +30,11 @@ type Session struct {
 	Vec func(int) linalg.Vector
 	// K is the result size (the paper: 100).
 	K int
+	// Sink, when non-nil, receives an "rf.session" span with one
+	// "iteration" event per retrieval (latency, query points, index
+	// work). The engine's own feedback-round tracing is wired
+	// separately (core.QueryModel.SetSink).
+	Sink obs.Sink
 }
 
 // Run performs the initial query plus the given number of feedback
@@ -36,6 +42,8 @@ type Session struct {
 // returns one Iteration per retrieval (iterations+1 entries).
 func (s *Session) Run(queryID, queryCat, iterations int) []Iteration {
 	s.Engine.Init(s.Vec(queryID))
+	span := obs.StartSpan(s.Sink, "rf.session",
+		obs.F("query_id", queryID), obs.F("iterations", iterations))
 	out := make([]Iteration, 0, iterations+1)
 	for it := 0; it <= iterations; it++ {
 		start := time.Now()
@@ -48,6 +56,16 @@ func (s *Session) Run(queryID, queryCat, iterations int) []Iteration {
 			Elapsed:     elapsed,
 			QueryPoints: s.Engine.NumQueryPoints(),
 		})
+		if span.Enabled() {
+			span.Event("iteration",
+				obs.F("iteration", it),
+				obs.F("latency_ms", elapsed.Seconds()*1e3),
+				obs.F("results", len(results)),
+				obs.F("query_points", s.Engine.NumQueryPoints()),
+				obs.F("distance_evals", stats.DistanceEvals),
+				obs.F("leaves_visited", stats.LeavesVisited),
+				obs.F("prune_ratio", stats.PruneRatio()))
+		}
 		if it == iterations {
 			break
 		}
@@ -57,5 +75,6 @@ func (s *Session) Run(queryID, queryCat, iterations int) []Iteration {
 		}
 		s.Engine.Feedback(s.Oracle.Mark(queryCat, ids, s.Vec))
 	}
+	span.End(obs.F("retrievals", len(out)))
 	return out
 }

@@ -1,0 +1,290 @@
+package qcluster
+
+import (
+	"log/slog"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+)
+
+// This file is the public observability surface: trace sinks (Sink,
+// NewSlogSink, MemorySink), metric snapshots (Database.Metrics,
+// Session.Stats) and the debug HTTP endpoint (Database.ServeDebug).
+// The types are aliases of the internal obs package so the whole repo
+// shares one implementation.
+
+// Sink receives structured trace events from the retrieval pipeline.
+// Attach one via Options.Sink (or Query.SetSink); nil disables tracing
+// and the hot path pays only a nil check — no allocation, no work.
+// Implementations must be safe for concurrent use.
+type Sink = obs.Sink
+
+// TraceEvent is one structured trace event (span name, event name,
+// time, fields).
+type TraceEvent = obs.Event
+
+// TraceField is one key/value attribute on a TraceEvent.
+type TraceField = obs.Field
+
+// MemorySink is a Sink collecting events in memory — for tests,
+// debugging and offline analysis. The zero value is ready to use.
+type MemorySink = obs.MemorySink
+
+// NewSlogSink returns a Sink that forwards trace events to a log/slog
+// logger as structured records (nil logger = slog.Default()).
+func NewSlogSink(l *slog.Logger) Sink { return obs.NewSlogSink(l) }
+
+// MetricsSnapshot is a point-in-time copy of a metrics registry:
+// counters, gauges and histogram snapshots keyed by dotted metric name
+// (e.g. "search.latency_seconds").
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is a point-in-time copy of one fixed-bucket
+// histogram, with Mean and Quantile estimators.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// DebugServer is the HTTP server started by Database.ServeDebug. Close
+// shuts it down gracefully without leaking its goroutine.
+type DebugServer = obs.DebugServer
+
+// SearchStats describes the index work one search performed — the
+// public mirror of the internal search statistics that every Search*
+// path previously discarded.
+type SearchStats struct {
+	// NodesVisited counts internal + leaf nodes the best-first
+	// traversal expanded.
+	NodesVisited int
+	// LeavesVisited counts leaves whose vectors were evaluated.
+	LeavesVisited int
+	// LeavesPruned counts leaves the traversal never touched
+	// (LeavesTotal - LeavesVisited).
+	LeavesPruned int
+	// LeavesTotal is the index leaf count at search time.
+	LeavesTotal int
+	// DistanceEvals counts query-distance evaluations (vectors scored).
+	DistanceEvals int
+	// CacheSeedLeaves counts leaves replayed from the session's
+	// cross-iteration refinement cache before the traversal started.
+	CacheSeedLeaves int
+	// Workers is the leaf-evaluation worker count the search ran with
+	// (1 = sequential path).
+	Workers int
+	// PruneRatio is the fraction of leaves pruned: 1 -
+	// LeavesVisited/LeavesTotal.
+	PruneRatio float64
+}
+
+func searchStatsFromIndex(s index.SearchStats) SearchStats {
+	pruned := s.LeavesTotal - s.LeavesVisited
+	if pruned < 0 {
+		pruned = 0
+	}
+	return SearchStats{
+		NodesVisited:    s.NodesVisited,
+		LeavesVisited:   s.LeavesVisited,
+		LeavesPruned:    pruned,
+		LeavesTotal:     s.LeavesTotal,
+		DistanceEvals:   s.DistanceEvals,
+		CacheSeedLeaves: s.CacheSeedLeaves,
+		Workers:         s.Workers,
+		PruneRatio:      s.PruneRatio(),
+	}
+}
+
+// SessionStats is a Session's observability snapshot: cumulative search
+// and feedback counters, latency and prune-ratio histograms, and the
+// index work of the most recent search.
+type SessionStats struct {
+	// Searches counts retrievals the session ran (Results and
+	// ResultsContext, both the example and the refined query path).
+	Searches int64
+	// PartialSearches counts retrievals interrupted by context
+	// cancellation (results returned with ErrPartialResults).
+	PartialSearches int64
+	// DegradedSearches counts retrievals whose metric construction
+	// needed a covariance fallback (see Health).
+	DegradedSearches int64
+	// FeedbackRounds counts MarkRelevant calls that absorbed at least
+	// one new point.
+	FeedbackRounds int64
+	// FeedbackPoints counts relevance-marked points absorbed.
+	FeedbackPoints int64
+	// QueryPoints is the current number of cluster representatives m.
+	QueryPoints int
+	// LastSearch is the index work of the most recent retrieval.
+	LastSearch SearchStats
+	// SearchLatencySeconds is the retrieval wall-clock histogram.
+	SearchLatencySeconds HistogramSnapshot
+	// PruneRatio is the per-search leaf prune-ratio histogram.
+	PruneRatio HistogramSnapshot
+	// LeavesVisited, LeavesPruned, DistanceEvals and CacheSeedLeaves
+	// accumulate the index work across all of the session's searches.
+	LeavesVisited   int64
+	LeavesPruned    int64
+	DistanceEvals   int64
+	CacheSeedLeaves int64
+}
+
+// dbMetrics holds the database's registry plus cached handles for every
+// metric the search hot path touches — the handles make recording a
+// search a fixed set of atomic operations with no map lookups, no
+// locks and no allocation.
+type dbMetrics struct {
+	reg *obs.Registry
+
+	searches      *obs.Counter
+	searchErrors  *obs.Counter
+	partial       *obs.Counter
+	notReady      *obs.Counter
+	dimMismatch   *obs.Counter
+	degraded      *obs.Counter
+	latency       *obs.Histogram
+	resultCounts  *obs.Histogram
+	kRequested    *obs.Histogram
+	nodesVisited  *obs.Counter
+	leavesVisited *obs.Counter
+	leavesPruned  *obs.Counter
+	distanceEvals *obs.Counter
+	cacheSeeds    *obs.Counter
+	pruneRatio    *obs.Histogram
+	adds          *obs.Counter
+	items         *obs.Gauge
+	feedbackRnds  *obs.Counter
+	feedbackPts   *obs.Counter
+}
+
+func newDBMetrics() *dbMetrics {
+	reg := obs.NewRegistry()
+	return &dbMetrics{
+		reg:           reg,
+		searches:      reg.Counter("search.total"),
+		searchErrors:  reg.Counter("search.errors"),
+		partial:       reg.Counter("search.partial"),
+		notReady:      reg.Counter("search.not_ready"),
+		dimMismatch:   reg.Counter("search.dimension_mismatch"),
+		degraded:      reg.Counter("search.degraded"),
+		latency:       reg.Histogram("search.latency_seconds", obs.LatencyBuckets()),
+		resultCounts:  reg.Histogram("search.results", obs.SizeBuckets()),
+		kRequested:    reg.Histogram("search.k", obs.SizeBuckets()),
+		nodesVisited:  reg.Counter("index.nodes_visited"),
+		leavesVisited: reg.Counter("index.leaves_visited"),
+		leavesPruned:  reg.Counter("index.leaves_pruned"),
+		distanceEvals: reg.Counter("index.distance_evals"),
+		cacheSeeds:    reg.Counter("index.cache_seed_leaves"),
+		pruneRatio:    reg.Histogram("index.prune_ratio", obs.RatioBuckets()),
+		adds:          reg.Counter("db.adds"),
+		items:         reg.Gauge("db.items"),
+		feedbackRnds:  reg.Counter("feedback.rounds"),
+		feedbackPts:   reg.Counter("feedback.points"),
+	}
+}
+
+// observeSearch records one finished retrieval. It is allocation-free:
+// every write is an atomic add on a pre-resolved handle.
+func (m *dbMetrics) observeSearch(elapsed time.Duration, k, results int, stats index.SearchStats, partial bool) {
+	m.searches.Inc()
+	m.latency.Observe(elapsed.Seconds())
+	m.kRequested.Observe(float64(k))
+	m.resultCounts.Observe(float64(results))
+	m.nodesVisited.Add(int64(stats.NodesVisited))
+	m.leavesVisited.Add(int64(stats.LeavesVisited))
+	if pruned := stats.LeavesTotal - stats.LeavesVisited; pruned > 0 {
+		m.leavesPruned.Add(int64(pruned))
+	}
+	m.distanceEvals.Add(int64(stats.DistanceEvals))
+	m.cacheSeeds.Add(int64(stats.CacheSeedLeaves))
+	if stats.LeavesTotal > 0 {
+		m.pruneRatio.Observe(stats.PruneRatio())
+	}
+	if partial {
+		m.partial.Inc()
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the database's metrics
+// registry: search totals and outcome counters ("search.total",
+// "search.partial", "search.degraded", ...), latency and size
+// histograms ("search.latency_seconds", "search.results", "search.k"),
+// index-work counters ("index.leaves_visited", "index.leaves_pruned",
+// "index.distance_evals", "index.cache_seed_leaves",
+// "index.prune_ratio") and feedback counters ("feedback.rounds",
+// "feedback.points"). Safe to call at any time, including while
+// searches are running.
+func (db *Database) Metrics() MetricsSnapshot { return db.met.reg.Snapshot() }
+
+// ServeDebug starts an HTTP debug server for this database's metrics on
+// addr (e.g. "localhost:6060"; ":0" picks a free port — read it back
+// from DebugServer.Addr). Endpoints: /debug/vars (expvar-style JSON),
+// /metrics (Prometheus text format) and /debug/pprof/ (the standard
+// pprof handlers). The caller owns the returned server and must Close
+// it; Close waits for the serve goroutine, so none is leaked.
+func (db *Database) ServeDebug(addr string) (*DebugServer, error) {
+	return obs.ServeDebug(addr, db.met.reg)
+}
+
+// sessionMetrics is the per-session slice of the instrumentation: the
+// same allocation-free primitives, owned by one Session.
+type sessionMetrics struct {
+	searches   obs.Counter
+	partial    obs.Counter
+	degraded   obs.Counter
+	rounds     obs.Counter
+	points     obs.Counter
+	leavesVis  obs.Counter
+	leavesPrn  obs.Counter
+	distEvals  obs.Counter
+	cacheSeeds obs.Counter
+	latency    *obs.Histogram
+	prune      *obs.Histogram
+}
+
+func newSessionMetrics() *sessionMetrics {
+	return &sessionMetrics{
+		latency: obs.NewHistogram(obs.LatencyBuckets()),
+		prune:   obs.NewHistogram(obs.RatioBuckets()),
+	}
+}
+
+// observeSearch records one session retrieval (allocation-free).
+func (m *sessionMetrics) observeSearch(elapsed time.Duration, stats index.SearchStats, partial bool) {
+	m.searches.Inc()
+	m.latency.Observe(elapsed.Seconds())
+	m.leavesVis.Add(int64(stats.LeavesVisited))
+	if pruned := stats.LeavesTotal - stats.LeavesVisited; pruned > 0 {
+		m.leavesPrn.Add(int64(pruned))
+	}
+	m.distEvals.Add(int64(stats.DistanceEvals))
+	m.cacheSeeds.Add(int64(stats.CacheSeedLeaves))
+	if stats.LeavesTotal > 0 {
+		m.prune.Observe(stats.PruneRatio())
+	}
+	if partial {
+		m.partial.Inc()
+	}
+}
+
+// Stats returns the session's observability snapshot: cumulative
+// counters, the search-latency and leaf-prune-ratio histograms, and the
+// index work of the most recent retrieval. Safe to call concurrently
+// with searches and feedback.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	last := s.lastStats
+	s.mu.Unlock()
+	return SessionStats{
+		Searches:             s.met.searches.Value(),
+		PartialSearches:      s.met.partial.Value(),
+		DegradedSearches:     s.met.degraded.Value(),
+		FeedbackRounds:       s.met.rounds.Value(),
+		FeedbackPoints:       s.met.points.Value(),
+		QueryPoints:          s.query.NumQueryPoints(),
+		LastSearch:           searchStatsFromIndex(last),
+		SearchLatencySeconds: s.met.latency.Snapshot(),
+		PruneRatio:           s.met.prune.Snapshot(),
+		LeavesVisited:        s.met.leavesVis.Value(),
+		LeavesPruned:         s.met.leavesPrn.Value(),
+		DistanceEvals:        s.met.distEvals.Value(),
+		CacheSeedLeaves:      s.met.cacheSeeds.Value(),
+	}
+}

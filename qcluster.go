@@ -63,6 +63,14 @@ type Options struct {
 	// MaxQueryPoints bounds the number of cluster representatives after
 	// merging. Default 5; negative means unbounded.
 	MaxQueryPoints int
+	// Sink, when non-nil, receives structured trace events from the
+	// query pipeline: one "feedback.round" span per absorbed feedback
+	// round (classification decisions, merge accepts, final cluster
+	// count) and one "metric.build" event per metric construction
+	// (scheme, ridge fallbacks). Nil — the default — disables tracing;
+	// the hot path then pays only a nil check. See NewSlogSink and
+	// MemorySink for ready-made sinks.
+	Sink Sink
 }
 
 func (o Options) internal() core.Options {
@@ -93,7 +101,18 @@ type Query struct {
 
 // NewQuery creates an empty query model.
 func NewQuery(opt Options) *Query {
-	return &Query{model: core.New(opt.internal())}
+	q := &Query{model: core.New(opt.internal())}
+	q.model.SetSink(opt.Sink)
+	return q
+}
+
+// SetSink attaches (or, with nil, detaches) a trace sink after
+// construction — e.g. on a query restored by LoadQuery, whose sink is
+// runtime wiring and is not persisted.
+func (q *Query) SetSink(s Sink) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.model.SetSink(s)
 }
 
 // Feedback absorbs one round of relevance-marked points. Points with
@@ -147,7 +166,14 @@ func (q *Query) metric() distance.Metric {
 func (q *Query) Health() Health {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return healthFromCore(q.model.Health())
+	return q.model.Health()
+}
+
+// rounds returns the number of feedback rounds the model has absorbed.
+func (q *Query) rounds() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.model.Rounds()
 }
 
 // NumQueryPoints returns the current number of cluster representatives.
