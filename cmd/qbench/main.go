@@ -23,6 +23,14 @@
 // tracing on and off. Writes BENCH_obs.json (see EXPERIMENTS.md):
 //
 //	qbench -exp obs -queries 20 -iters 4 -obsout BENCH_obs.json
+//
+// The "serve" experiment (also not part of "all") load-tests the HTTP
+// serving layer (internal/server) closed-loop: concurrent simulated
+// users run feedback rounds over localhost HTTP under steady, pressure
+// (admission shedding) and churn (LRU session eviction) regimes. Writes
+// BENCH_serve.json (see EXPERIMENTS.md):
+//
+//	qbench -exp serve -users 64 -iters 3 -serveout BENCH_serve.json
 package main
 
 import (
@@ -60,6 +68,10 @@ type config struct {
 
 	// obs-experiment knob
 	obsOut string
+
+	// serve-experiment knobs
+	users    int
+	serveOut string
 }
 
 func main() {
@@ -79,6 +91,8 @@ func main() {
 	flag.IntVar(&cfg.parallelism, "parallelism", 0, "search workers for -exp search (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_search.json", "JSON output path for -exp search (empty to skip)")
 	flag.StringVar(&cfg.obsOut, "obsout", "BENCH_obs.json", "JSON output path for -exp obs (empty to skip)")
+	flag.IntVar(&cfg.users, "users", 64, "concurrent simulated users for -exp serve")
+	flag.StringVar(&cfg.serveOut, "serveout", "BENCH_serve.json", "JSON output path for -exp serve (empty to skip)")
 	flag.Parse()
 
 	ids := expandExperiments(cfg.exp)
@@ -168,6 +182,11 @@ func newRunner(cfg config) *runner {
 		// trace events, prune ratios, tracing overhead on/off. Excluded
 		// from "all" — it measures the observability layer.
 		"obs": r.obsBench,
+		// Closed-loop load benchmark of the HTTP serving layer: steady /
+		// pressure / churn regimes, shed rates and end-to-end latency in
+		// BENCH_serve.json. Excluded from "all" — it measures the server,
+		// not the paper's figures.
+		"serve": r.serveBench,
 	}
 	return r
 }

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	qcluster "repro"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+)
+
+// The serve experiment drives the HTTP serving layer closed-loop: a
+// pool of concurrent simulated users each opens a session and runs
+// feedback rounds over real localhost HTTP, under three regimes —
+// "steady" (capacity ample: baseline latency), "pressure" (tiny
+// in-flight cap: admission control must shed with 429), and "churn"
+// (session capacity below the user count: LRU eviction mid-run, users
+// recreate on 404). It writes a machine-readable BENCH_serve.json
+// (schema in EXPERIMENTS.md).
+
+type servePhase struct {
+	Phase           string  `json:"phase"`
+	Users           int     `json:"users"`
+	Rounds          int     `json:"rounds"`
+	MaxInFlight     int     `json:"max_in_flight"`
+	MaxSessions     int     `json:"max_sessions"`
+	QueueWaitMs     float64 `json:"queue_wait_ms"`
+	Requests        int64   `json:"requests"`
+	Shed            int64   `json:"shed"`
+	ShedRate        float64 `json:"shed_rate"`
+	Errors5xx       int64   `json:"errors_5xx"`
+	EvictedLRU      int64   `json:"evicted_lru"`
+	FeedbackRounds  int64   `json:"feedback_rounds"`
+	LatencyP50Ms    float64 `json:"latency_p50_ms"`
+	LatencyP99Ms    float64 `json:"latency_p99_ms"`
+	QueueWaitP99Ms  float64 `json:"queue_wait_p99_ms"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	DrainSeconds    float64 `json:"drain_seconds"`
+}
+
+type serveReport struct {
+	Schema string       `json:"schema"`
+	N      int          `json:"n"`
+	Dim    int          `json:"dim"`
+	Users  int          `json:"users"`
+	Rounds int          `json:"rounds"`
+	K      int          `json:"k"`
+	Seed   int64        `json:"seed"`
+	Phases []servePhase `json:"phases"`
+}
+
+func (r *runner) serveBench() {
+	const dim = 8
+	cats := r.cfg.cats
+	if cats > 16 {
+		cats = 16 // the experiment measures the serving layer, not recall
+	}
+	perCat := r.cfg.perCat
+	rng := rand.New(rand.NewSource(r.cfg.seed))
+	vectors, labels := obsWorld(rng, cats, perCat, dim)
+	db, err := qcluster.NewDatabase(vectors)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building collection: %v\n", err)
+		os.Exit(1)
+	}
+
+	users := r.cfg.users
+	rounds := r.cfg.iters
+	if rounds < 3 {
+		rounds = 3
+	}
+	k := r.cfg.k
+	report := serveReport{
+		Schema: "qcluster-bench-serve/v1",
+		N:      len(vectors),
+		Dim:    dim,
+		Users:  users,
+		Rounds: rounds,
+		K:      k,
+		Seed:   r.cfg.seed,
+	}
+	fmt.Printf("closed-loop serving benchmark: %d users x %d feedback rounds, k=%d, N=%d dim=%d\n\n",
+		users, rounds, k, report.N, dim)
+
+	phases := []struct {
+		name string
+		opt  server.Options
+		// slowPop injects per-heap-pop latency through the fault-
+		// injection hook so each query costs real wall time even on the
+		// tiny benchmark collection — the only way to saturate the
+		// in-flight cap deterministically on a single-core machine.
+		slowPop time.Duration
+	}{
+		// Ample capacity: baseline end-to-end latency, no shedding.
+		{"steady", server.Options{
+			MaxSessions: 4 * users,
+			MaxInFlight: runtime.GOMAXPROCS(0) * 4,
+			QueueWait:   time.Second,
+		}, 0},
+		// Starved in-flight cap with immediate shed (negative queue
+		// wait) against artificially expensive queries: admission
+		// control must reject the excess with 429 instead of queueing.
+		{"pressure", server.Options{
+			MaxSessions: 4 * users,
+			MaxInFlight: 1,
+			QueueWait:   -time.Millisecond,
+		}, 50 * time.Microsecond},
+		// Session capacity below the user count: LRU eviction fires
+		// mid-run and users transparently recreate their sessions.
+		{"churn", server.Options{
+			MaxSessions:  users/4 + 1,
+			ReapInterval: 20 * time.Millisecond,
+			MaxInFlight:  runtime.GOMAXPROCS(0) * 4,
+			QueueWait:    time.Second,
+		}, 0},
+	}
+	fmt.Printf("%-9s %9s %7s %9s %8s %9s %9s %10s %8s\n",
+		"phase", "requests", "shed", "evicted", "5xx", "p50 ms", "p99 ms", "rps", "drain s")
+	for _, ph := range phases {
+		if ph.slowPop > 0 {
+			d := ph.slowPop
+			faultinject.Set(faultinject.KNNPop, func() { time.Sleep(d) })
+		}
+		stats := runServePhase(db, labels, ph.name, ph.opt, users, rounds, k)
+		if ph.slowPop > 0 {
+			faultinject.Clear(faultinject.KNNPop)
+		}
+		report.Phases = append(report.Phases, stats)
+		fmt.Printf("%-9s %9d %7d %9d %8d %9.2f %9.2f %10.0f %8.3f\n",
+			stats.Phase, stats.Requests, stats.Shed, stats.EvictedLRU, stats.Errors5xx,
+			stats.LatencyP50Ms, stats.LatencyP99Ms, stats.ThroughputRPS, stats.DrainSeconds)
+	}
+
+	if r.cfg.serveOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", r.cfg.serveOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(r.cfg.serveOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", r.cfg.serveOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", r.cfg.serveOut)
+	}
+}
+
+// runServePhase starts a fresh server on a loopback port, drives it with
+// the closed-loop user pool, and reads the verdict off the server's own
+// metrics registry before draining it.
+func runServePhase(db *qcluster.Database, labels []int, name string, opt server.Options, users, rounds, k int) servePhase {
+	s, err := server.Start("127.0.0.1:0", db, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starting %s server: %v\n", name, err)
+		os.Exit(1)
+	}
+	base := "http://" + s.Addr()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: users}}
+
+	var failed atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if !serveUser(client, base, labels, u, rounds, k) {
+				failed.Add(1)
+			}
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "phase %s: %d users failed outside the expected 404/429 classes\n", name, n)
+		os.Exit(1)
+	}
+
+	snap := s.Metrics()
+	// Release the client's keep-alive connections first so Shutdown
+	// doesn't have to wait out spare never-used connections.
+	client.CloseIdleConnections()
+	drainStart := time.Now()
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "draining %s server: %v\n", name, err)
+		os.Exit(1)
+	}
+	o := opt
+	lat := snap.Histograms["server.request_latency_seconds"]
+	qw := snap.Histograms["server.queue_wait_seconds"]
+	ph := servePhase{
+		Phase:           name,
+		Users:           users,
+		Rounds:          rounds,
+		MaxInFlight:     o.MaxInFlight,
+		MaxSessions:     o.MaxSessions,
+		QueueWaitMs:     float64(o.QueueWait) / float64(time.Millisecond),
+		Requests:        snap.Counters["server.requests"],
+		Shed:            snap.Counters["server.shed"],
+		Errors5xx:       snap.Counters["server.errors_5xx"],
+		EvictedLRU:      snap.Counters["sessions.evicted_lru"],
+		FeedbackRounds:  snap.Counters["sessions.feedback_rounds"],
+		LatencyP50Ms:    lat.Quantile(0.50) * 1e3,
+		LatencyP99Ms:    lat.Quantile(0.99) * 1e3,
+		QueueWaitP99Ms:  qw.Quantile(0.99) * 1e3,
+		DurationSeconds: elapsed.Seconds(),
+		DrainSeconds:    time.Since(drainStart).Seconds(),
+	}
+	if ph.Requests > 0 {
+		ph.ShedRate = float64(ph.Shed) / float64(ph.Requests+ph.Shed)
+		ph.ThroughputRPS = float64(ph.Requests) / elapsed.Seconds()
+	}
+	return ph
+}
+
+// serveUser runs one simulated user: create a session, then alternate
+// retrieve -> mark-relevant for the requested number of rounds, riding
+// through 429 (shed: back off and retry) and 404 (evicted: recreate the
+// session). Returns false on any other failure.
+func serveUser(client *http.Client, base string, labels []int, u, rounds, k int) bool {
+	exID := (u * 131) % len(labels)
+	cat := labels[exID]
+	post := func(path string, body, out any) (int, error) {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, err
+		}
+		if out != nil && resp.StatusCode < 300 {
+			return resp.StatusCode, json.Unmarshal(raw, out)
+		}
+		return resp.StatusCode, nil
+	}
+	type createResp struct {
+		SessionID string `json:"session_id"`
+	}
+	createSession := func() (string, bool) {
+		var created createResp
+		for attempt := 0; attempt < 500; attempt++ {
+			st, err := post("/v1/sessions", map[string]any{"example_id": exID}, &created)
+			switch {
+			case err != nil:
+				return "", false
+			case st == 201:
+				return created.SessionID, true
+			case st == 429:
+				time.Sleep(time.Millisecond)
+			default:
+				return "", false
+			}
+		}
+		return "", false
+	}
+	id, ok := createSession()
+	if !ok {
+		return false
+	}
+	type resultsResp struct {
+		Results []struct {
+			ID int `json:"id"`
+		} `json:"results"`
+	}
+	for round := 0; round < rounds; round++ {
+		var res resultsResp
+		for attempt := 0; ; attempt++ {
+			if attempt > 1000 {
+				return false
+			}
+			resp, err := client.Get(fmt.Sprintf("%s/v1/sessions/%s/results?k=%d", base, id, k))
+			if err != nil {
+				return false
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 || resp.StatusCode == 206 {
+				if json.Unmarshal(raw, &res) != nil {
+					return false
+				}
+				break
+			}
+			switch resp.StatusCode {
+			case 404:
+				if id, ok = createSession(); !ok {
+					return false
+				}
+			case 429:
+				time.Sleep(time.Millisecond)
+			default:
+				return false
+			}
+		}
+		var points []map[string]any
+		for _, rr := range res.Results {
+			if labels[rr.ID] == cat {
+				points = append(points, map[string]any{"id": rr.ID, "score": 3})
+			}
+		}
+		if len(points) == 0 {
+			points = append(points, map[string]any{"id": exID, "score": 3})
+		}
+		for attempt := 0; ; attempt++ {
+			if attempt > 1000 {
+				return false
+			}
+			st, err := post("/v1/sessions/"+id+"/feedback", map[string]any{"points": points}, nil)
+			if err != nil {
+				return false
+			}
+			if st == 200 {
+				break
+			}
+			switch st {
+			case 404:
+				if id, ok = createSession(); !ok {
+					return false
+				}
+			case 429:
+				time.Sleep(time.Millisecond)
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+// Command qserve exposes a Qcluster retrieval database over HTTP: a
+// stateless k-NN search endpoint plus multi-tenant relevance-feedback
+// sessions, with admission control, per-request deadlines and graceful
+// drain on SIGINT/SIGTERM (see internal/server for the API).
+//
+// The collection is loaded from a cmd/qgen snapshot (-data) or built as
+// a synthetic Gaussian mixture (-n/-dim/-cats/-seed) so the server is
+// runnable out of the box:
+//
+//	qserve -addr :8080 -ops :8081 -cats 20 -percat 100 -dim 8
+//
+// Endpoints (JSON):
+//
+//	POST   /v1/search                    stateless k-NN around an example
+//	POST   /v1/sessions                  open a feedback session
+//	GET    /v1/sessions/{id}/results     retrieve with the refined query
+//	POST   /v1/sessions/{id}/feedback    mark relevant results
+//	DELETE /v1/sessions/{id}             close a session
+//	GET    /healthz                      liveness + capacity
+//
+// The ops port (-ops) serves /debug/vars, /metrics (Prometheus text)
+// and /debug/pprof with the server and database registries merged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	qcluster "repro"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "API listen address")
+		ops  = flag.String("ops", "", "ops listen address for /metrics, /debug/vars, /debug/pprof (empty to disable)")
+
+		// Collection: snapshot or synthetic mixture.
+		data   = flag.String("data", "", "dataset snapshot from cmd/qgen (optional)")
+		cats   = flag.Int("cats", 16, "synthetic mixture: number of categories")
+		perCat = flag.Int("percat", 100, "synthetic mixture: vectors per category")
+		dim    = flag.Int("dim", 8, "synthetic mixture: dimensionality")
+		seed   = flag.Int64("seed", 2003, "synthetic mixture: random seed")
+
+		// Serving knobs (zero = internal/server default).
+		maxSessions    = flag.Int("max-sessions", 0, "session capacity before LRU eviction (0 = default)")
+		sessionTTL     = flag.Duration("session-ttl", 0, "idle session lifetime (0 = default)")
+		maxInFlight    = flag.Int("max-inflight", 0, "concurrent request cap (0 = default)")
+		queueWait      = flag.Duration("queue-wait", 0, "max wait for an in-flight slot before shedding 429 (0 = default)")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request deadline (0 = default)")
+		drainTimeout   = flag.Duration("drain-timeout", 0, "graceful-drain budget on shutdown (0 = default)")
+		parallelism    = flag.Int("parallelism", 0, "search workers per query (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	vectors, err := loadVectors(*data, *cats, *perCat, *dim, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	db, err := qcluster.NewDatabaseWithOptions(vectors, qcluster.IndexOptions{
+		SearchParallelism: *parallelism,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building database: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("collection ready: %d vectors, %d dims\n", db.Len(), db.Dim())
+
+	opt := server.Options{
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
+		MaxInFlight:    *maxInFlight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *requestTimeout,
+		DrainTimeout:   *drainTimeout,
+	}
+	s, err := server.Start(*addr, db, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starting server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving on %s (GOMAXPROCS=%d)\n", s.Addr(), runtime.GOMAXPROCS(0))
+	if *ops != "" {
+		opsSrv, err := s.ServeOps(*ops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starting ops server: %v\n", err)
+			os.Exit(1)
+		}
+		defer opsSrv.Close()
+		fmt.Printf("ops on %s (/metrics, /debug/vars, /debug/pprof)\n", opsSrv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("%s: draining...\n", got)
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("drained in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// loadVectors reads a qgen snapshot (serving its color-moment feature
+// space) or synthesizes a Gaussian mixture.
+func loadVectors(path string, cats, perCat, dim int, seed int64) ([][]float64, error) {
+	if path != "" {
+		ds, err := dataset.LoadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		vecs := ds.Vectors(dataset.ColorMoments)
+		out := make([][]float64, len(vecs))
+		for i, v := range vecs {
+			out[i] = v
+		}
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vectors := make([][]float64, 0, cats*perCat)
+	for c := 0; c < cats; c++ {
+		center := make([]float64, dim)
+		for d := range center {
+			center[d] = rng.NormFloat64() * 5
+		}
+		for i := 0; i < perCat; i++ {
+			v := make([]float64, dim)
+			for d := range v {
+				v[d] = center[d] + rng.NormFloat64()
+			}
+			vectors = append(vectors, v)
+		}
+	}
+	return vectors, nil
+}

@@ -110,11 +110,24 @@ func (db *Database) Dim() int {
 	return db.store.Dim()
 }
 
-// Vector returns item id's feature vector (read-only).
+// Vector returns item id's feature vector (read-only). An out-of-range
+// id returns nil — it used to panic, which let a single bad request
+// crash a serving process; use VectorOK to distinguish a missing id
+// from a (never-valid) nil vector.
 func (db *Database) Vector(id int) []float64 {
+	v, _ := db.VectorOK(id)
+	return v
+}
+
+// VectorOK returns item id's feature vector (read-only) and whether the
+// id is in range.
+func (db *Database) VectorOK(id int) ([]float64, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.store.Vector(id)
+	if id < 0 || id >= db.store.Len() {
+		return nil, false
+	}
+	return db.store.Vector(id), true
 }
 
 // SearchByExample answers a plain k-NN query around an example vector —
@@ -327,13 +340,13 @@ func (s *Session) MarkRelevant(points []Point) (err error) {
 			return err
 		}
 	}
-	rounds := s.query.rounds()
+	rounds := s.query.Rounds()
 	if err := s.query.Feedback(points); err != nil {
 		return err
 	}
 	// Count the round only when the model absorbed something new (the
 	// model skips rounds of already-seen or non-positive points).
-	if s.query.rounds() > rounds {
+	if s.query.Rounds() > rounds {
 		s.met.rounds.Inc()
 		s.db.met.feedbackRnds.Inc()
 		marked := 0

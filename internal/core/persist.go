@@ -16,6 +16,10 @@ type modelSnapshot struct {
 	Options  Options
 	Clusters []clusterSnapshot
 	SeenIDs  []int
+	// Rounds is the absorbed feedback-round count, so a restored model
+	// resumes the session where it left off (snapshots written before
+	// this field existed decode as 0 — gob skips absent fields).
+	Rounds int
 }
 
 type clusterSnapshot struct {
@@ -33,7 +37,7 @@ type clusterSnapshot struct {
 
 // Save serializes the query model to w.
 func (m *QueryModel) Save(w io.Writer) error {
-	snap := modelSnapshot{Options: m.opt}
+	snap := modelSnapshot{Options: m.opt, Rounds: m.rounds}
 	for id := range m.seen {
 		snap.SeenIDs = append(snap.SeenIDs, id)
 	}
@@ -62,6 +66,10 @@ func Load(r io.Reader) (*QueryModel, error) {
 		return nil, fmt.Errorf("core: decode query model: %w", err)
 	}
 	m := New(snap.Options)
+	if snap.Rounds < 0 {
+		return nil, fmt.Errorf("core: corrupt snapshot: negative round count")
+	}
+	m.rounds = snap.Rounds
 	for _, id := range snap.SeenIDs {
 		m.seen[id] = true
 	}

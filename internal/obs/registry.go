@@ -281,3 +281,18 @@ type Snapshot struct {
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
+
+// Merge folds other's metrics into s. Names colliding across snapshots
+// are overwritten by other — registries served together are expected to
+// use disjoint name prefixes.
+func (s *Snapshot) Merge(other Snapshot) {
+	for name, v := range other.Counters {
+		s.Counters[name] = v
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[name] = v
+	}
+	for name, v := range other.Histograms {
+		s.Histograms[name] = v
+	}
+}

@@ -29,12 +29,26 @@ type DebugServer struct {
 	done chan struct{}
 }
 
-// ServeDebug starts a debug server for the registry on addr (e.g.
-// "localhost:6060"; ":0" picks a free port, see Addr). The server runs
-// on its own goroutine until Close.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// ServeDebug starts a debug server for one or more registries on addr
+// (e.g. "localhost:6060"; ":0" picks a free port, see Addr). The server
+// runs on its own goroutine until Close. Additional registries are
+// merged into every exposition (a serving layer can mount its own
+// metrics next to the database's); metric names must not collide across
+// registries — on collision the later registry wins.
+func ServeDebug(addr string, reg *Registry, more ...*Registry) (*DebugServer, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("obs: nil registry")
+	}
+	regs := append([]*Registry{reg}, more...)
+	snapshot := func() Snapshot {
+		s := regs[0].Snapshot()
+		for _, r := range regs[1:] {
+			if r == nil {
+				continue
+			}
+			s.Merge(r.Snapshot())
+		}
+		return s
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
@@ -42,7 +56,7 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		doc := map[string]any{
-			"qcluster": reg.Snapshot(),
+			"qcluster": snapshot(),
 			"runtime": map[string]any{
 				"goroutines":     runtime.NumGoroutine(),
 				"heap_alloc":     ms.HeapAlloc,
@@ -58,7 +72,7 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_, _ = w.Write([]byte(PrometheusText(reg.Snapshot())))
+		_, _ = w.Write([]byte(PrometheusText(snapshot())))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	qcluster "repro"
+)
+
+// statusClientClosedRequest is the nginx convention for "the client
+// went away before we answered" — distinguishable from server-side
+// timeouts (504) in access logs and metrics.
+const statusClientClosedRequest = 499
+
+// maxBodyBytes bounds request bodies; feature vectors are small, so
+// 8 MiB is generous even for bulk feedback batches.
+const maxBodyBytes = 8 << 20
+
+// ---- wire types ----
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type healthzResponse struct {
+	Status      string `json:"status"`
+	Items       int    `json:"items,omitempty"`
+	Sessions    int    `json:"sessions"`
+	InFlight    int    `json:"in_flight"`
+	MaxInFlight int    `json:"max_in_flight,omitempty"`
+}
+
+type resultItem struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// searchRequest asks for a stateless k-NN retrieval around an example
+// given inline (vector) or by database id (example_id).
+type searchRequest struct {
+	Vector    []float64 `json:"vector,omitempty"`
+	ExampleID *int      `json:"example_id,omitempty"`
+	K         int       `json:"k,omitempty"`
+}
+
+type searchResponse struct {
+	Results []resultItem `json:"results"`
+	Partial bool         `json:"partial,omitempty"`
+}
+
+// createSessionRequest opens a feedback session. Exactly one of example
+// / example_id is required; scheme, alpha and max_query_points override
+// the server's default query-model options when set.
+type createSessionRequest struct {
+	Example        []float64 `json:"example,omitempty"`
+	ExampleID      *int      `json:"example_id,omitempty"`
+	Scheme         string    `json:"scheme,omitempty"` // "diagonal" | "full_inverse"
+	Alpha          float64   `json:"alpha,omitempty"`
+	MaxQueryPoints int       `json:"max_query_points,omitempty"`
+}
+
+type createSessionResponse struct {
+	SessionID  string  `json:"session_id"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// feedbackPoint is one relevance judgement. A point whose vector is
+// omitted is resolved from the database by id.
+type feedbackPoint struct {
+	ID     int       `json:"id"`
+	Vector []float64 `json:"vector,omitempty"`
+	Score  float64   `json:"score"`
+}
+
+type feedbackRequest struct {
+	Points []feedbackPoint `json:"points"`
+}
+
+type feedbackResponse struct {
+	Absorbed    bool `json:"absorbed"`
+	Rounds      int  `json:"rounds"`
+	QueryPoints int  `json:"query_points"`
+}
+
+type resultsResponse struct {
+	Results     []resultItem `json:"results"`
+	Partial     bool         `json:"partial,omitempty"`
+	Refined     bool         `json:"refined"`
+	Rounds      int          `json:"rounds"`
+	QueryPoints int          `json:"query_points"`
+	Degraded    bool         `json:"degraded,omitempty"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) int {
+	var req searchRequest
+	if st := decodeBody(w, r, &req); st != 0 {
+		return st
+	}
+	example := req.Vector
+	if example == nil {
+		if req.ExampleID == nil {
+			return fail(w, http.StatusBadRequest, "one of vector or example_id is required")
+		}
+		var ok bool
+		if example, ok = s.db.VectorOK(*req.ExampleID); !ok {
+			return fail(w, http.StatusBadRequest, "example_id %d is not in the database", *req.ExampleID)
+		}
+	}
+	s.met.searches.Inc()
+	res, err := s.db.SearchByExampleContext(r.Context(), example, s.clampK(req.K))
+	if err != nil && !errors.Is(err, qcluster.ErrPartialResults) {
+		return failErr(w, err)
+	}
+	status := http.StatusOK
+	if err != nil {
+		status = http.StatusPartialContent
+	}
+	writeJSON(w, status, searchResponse{Results: convert(res), Partial: err != nil})
+	return status
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) int {
+	var req createSessionRequest
+	if st := decodeBody(w, r, &req); st != 0 {
+		return st
+	}
+	example := req.Example
+	if example == nil {
+		if req.ExampleID == nil {
+			return fail(w, http.StatusBadRequest, "one of example or example_id is required")
+		}
+		var ok bool
+		if example, ok = s.db.VectorOK(*req.ExampleID); !ok {
+			return fail(w, http.StatusBadRequest, "example_id %d is not in the database", *req.ExampleID)
+		}
+	}
+	if len(example) != s.db.Dim() {
+		return fail(w, http.StatusBadRequest,
+			"example has dimension %d, database has %d", len(example), s.db.Dim())
+	}
+	opt := s.opt.Query
+	switch req.Scheme {
+	case "":
+	case "diagonal":
+		opt.Scheme = qcluster.Diagonal
+	case "full_inverse", "inverse":
+		opt.Scheme = qcluster.FullInverse
+	default:
+		return fail(w, http.StatusBadRequest,
+			"unknown scheme %q (want diagonal or full_inverse)", req.Scheme)
+	}
+	if req.Alpha != 0 {
+		if req.Alpha < 0 || req.Alpha >= 1 {
+			return fail(w, http.StatusBadRequest, "alpha %g out of (0, 1)", req.Alpha)
+		}
+		opt.Alpha = req.Alpha
+	}
+	if req.MaxQueryPoints != 0 {
+		opt.MaxQueryPoints = req.MaxQueryPoints
+	}
+	id := s.mgr.create(s.db.NewSession(example, opt), timeNow())
+	writeJSON(w, http.StatusCreated, createSessionResponse{
+		SessionID:  id,
+		TTLSeconds: s.opt.SessionTTL.Seconds(),
+	})
+	return http.StatusCreated
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) int {
+	ms, ok := s.mgr.get(r.PathValue("id"), timeNow())
+	if !ok {
+		return fail(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	}
+	k := s.opt.DefaultK
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		n, err := strconv.Atoi(kq)
+		if err != nil {
+			return fail(w, http.StatusBadRequest, "bad k %q", kq)
+		}
+		k = s.clampK(n)
+	}
+	s.met.searches.Inc()
+	ms.mu.Lock()
+	res, err := ms.sess.ResultsContext(r.Context(), k)
+	q := ms.sess.Query()
+	resp := resultsResponse{
+		Results:     convert(res),
+		Refined:     q.Ready(),
+		Rounds:      q.Rounds(),
+		QueryPoints: q.NumQueryPoints(),
+		Degraded:    ms.sess.Health().Degraded(),
+	}
+	ms.mu.Unlock()
+	if err != nil && !errors.Is(err, qcluster.ErrPartialResults) {
+		return failErr(w, err)
+	}
+	status := http.StatusOK
+	if err != nil {
+		status = http.StatusPartialContent
+		resp.Partial = true
+	}
+	writeJSON(w, status, resp)
+	return status
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) int {
+	var req feedbackRequest
+	if st := decodeBody(w, r, &req); st != 0 {
+		return st
+	}
+	if len(req.Points) == 0 {
+		return fail(w, http.StatusBadRequest, "no feedback points")
+	}
+	ms, ok := s.mgr.get(r.PathValue("id"), timeNow())
+	if !ok {
+		return fail(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	}
+	points := make([]qcluster.Point, 0, len(req.Points))
+	for i, p := range req.Points {
+		vec := p.Vector
+		if vec == nil && p.Score > 0 {
+			var found bool
+			if vec, found = s.db.VectorOK(p.ID); !found {
+				return fail(w, http.StatusBadRequest, "point %d: id %d is not in the database", i, p.ID)
+			}
+		}
+		points = append(points, qcluster.Point{ID: p.ID, Vec: vec, Score: p.Score})
+	}
+	ms.mu.Lock()
+	before := ms.sess.Query().Rounds()
+	err := ms.sess.MarkRelevant(points)
+	q := ms.sess.Query()
+	resp := feedbackResponse{
+		Absorbed:    q.Rounds() > before,
+		Rounds:      q.Rounds(),
+		QueryPoints: q.NumQueryPoints(),
+	}
+	ms.mu.Unlock()
+	if err != nil {
+		return failErr(w, err)
+	}
+	if resp.Absorbed {
+		s.met.feedbackRounds.Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) int {
+	if !s.mgr.remove(r.PathValue("id")) {
+		return fail(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent
+}
+
+// ---- shared plumbing ----
+
+// timeNow is the manager clock (overridable in tests).
+var timeNow = func() time.Time { return time.Now() }
+
+// decodeBody parses a bounded JSON request body into v, returning a
+// non-zero status (already written) on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) int {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fail(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return 0
+}
+
+// failErr maps a qcluster error to its HTTP status and writes it.
+func failErr(w http.ResponseWriter, err error) int {
+	return fail(w, errStatus(err), "%v", err)
+}
+
+// errStatus maps qcluster and context errors onto HTTP statuses. Partial
+// results are handled by the callers (206 with a body); everything
+// reaching here is a plain failure.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, qcluster.ErrDimensionMismatch):
+		return http.StatusBadRequest
+	case errors.Is(err, qcluster.ErrNotReady):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, qcluster.ErrInternal):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func fail(w http.ResponseWriter, status int, format string, args ...any) int {
+	writeError(w, status, fmt.Sprintf(format, args...))
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func convert(rs []qcluster.Result) []resultItem {
+	out := make([]resultItem, len(rs))
+	for i, r := range rs {
+		out[i] = resultItem{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+// Package server is the multi-tenant serving layer over a qcluster
+// Database: an HTTP/JSON API exposing plain k-NN search and the paper's
+// multi-round relevance-feedback loop as long-lived sessions, behind
+// admission control and a session manager with TTL and LRU-capacity
+// eviction.
+//
+//	POST   /v1/search                  stateless k-NN by example
+//	POST   /v1/sessions                open a feedback session
+//	GET    /v1/sessions/{id}/results   current top-k of a session
+//	POST   /v1/sessions/{id}/feedback  mark relevant items
+//	DELETE /v1/sessions/{id}           close a session
+//	GET    /healthz                    liveness + drain state
+//
+// Every /v1 request passes the bounded in-flight semaphore (429 with
+// Retry-After when saturated past the queue-wait budget) and runs under
+// a per-request deadline propagated into the search core; a deadline
+// that fires mid-traversal surfaces the best-effort results as a 206
+// partial response instead of an error. Close drains gracefully: new
+// work is rejected 503, in-flight requests finish, and every goroutine
+// the server started (acceptor, reaper) has exited by the time Close
+// returns.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	qcluster "repro"
+	"repro/internal/obs"
+)
+
+// Options tunes the serving layer. The zero value is a sane production
+// default for a single node.
+type Options struct {
+	// MaxSessions caps live sessions; creating one beyond the cap
+	// evicts the least-recently-used session. Default 1024; negative
+	// means unbounded.
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a session: the reaper evicts
+	// sessions untouched for longer. Default 30m; negative disables
+	// expiry.
+	SessionTTL time.Duration
+	// ReapInterval is how often the reaper scans for expired sessions.
+	// Default 30s.
+	ReapInterval time.Duration
+	// MaxInFlight bounds concurrently executing /v1 requests. Default
+	// 4 × GOMAXPROCS.
+	MaxInFlight int
+	// QueueWait is how long a request may wait for an in-flight slot
+	// before being shed as 429. Default 100ms; negative sheds
+	// immediately when saturated.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request deadline propagated into the
+	// search core; a search interrupted by it returns a 206 partial
+	// response. Default 2s; negative disables the server-side deadline.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Close's wait for in-flight requests. Default 10s.
+	DrainTimeout time.Duration
+	// MaxK caps the per-request result size k. Default 1000.
+	MaxK int
+	// DefaultK is the result size when a request omits k. Default 20.
+	DefaultK int
+	// Query is the default query-model configuration for new sessions;
+	// per-session requests may override scheme, alpha and the query-point
+	// cap.
+	Query qcluster.Options
+	// Registry, when non-nil, receives the server's metrics; nil creates
+	// a private registry. Either way Metrics() also folds in the
+	// database's registry.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 1024
+	}
+	if o.MaxSessions < 0 {
+		o.MaxSessions = 0 // unbounded for the manager
+	}
+	if o.SessionTTL == 0 {
+		o.SessionTTL = 30 * time.Minute
+	}
+	if o.ReapInterval <= 0 {
+		o.ReapInterval = 30 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.QueueWait == 0 {
+		o.QueueWait = 100 * time.Millisecond
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 1000
+	}
+	if o.DefaultK <= 0 {
+		o.DefaultK = 20
+	}
+	return o
+}
+
+// Server is the serving layer. Create one with New (handler only) or
+// Start (listening); always Close it — Close stops the reaper goroutine
+// and, for a started server, drains in-flight requests and waits for
+// the acceptor goroutine.
+type Server struct {
+	db  *qcluster.Database
+	opt Options
+	mgr *sessionManager
+	adm *admission
+	met *serverMetrics
+	mux *http.ServeMux
+
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	srv       *http.Server
+	lis       net.Listener
+	serveDone chan struct{}
+
+	reapStop chan struct{}
+	reapDone chan struct{}
+
+	// testBlock, when non-nil, makes every admitted /v1 request wait for
+	// one receive before proceeding — the deterministic saturation hook
+	// for admission-control tests.
+	testBlock chan struct{}
+}
+
+// New builds a server over db and starts its session reaper. The caller
+// owns serving Handler() and must Close the server to stop the reaper.
+func New(db *qcluster.Database, opt Options) *Server {
+	opt = opt.withDefaults()
+	met := newServerMetrics(opt.Registry)
+	s := &Server{
+		db:       db,
+		opt:      opt,
+		met:      met,
+		mgr:      newSessionManager(opt.MaxSessions, opt.SessionTTL, met),
+		adm:      newAdmission(opt.MaxInFlight, opt.QueueWait),
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/search", s.wrap(s.handleSearch))
+	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
+	mux.HandleFunc("GET /v1/sessions/{id}/results", s.wrap(s.handleResults))
+	mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.wrap(s.handleFeedback))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleDeleteSession))
+	s.mux = mux
+	go s.reapLoop()
+	return s
+}
+
+// Start is New plus a listening HTTP server on addr (":0" picks a free
+// port — read it back from Addr). The acceptor runs on its own
+// goroutine until Close.
+func Start(addr string, db *qcluster.Database, opt Options) (*Server, error) {
+	s := New(db, opt)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = s.Close()
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.serveDone = make(chan struct{})
+	go func() {
+		defer close(s.serveDone)
+		_ = s.srv.Serve(lis) // http.ErrServerClosed on Shutdown
+	}()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (for embedding into an
+// existing mux or an httptest server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Addr returns the bound listen address of a Start-ed server ("" for a
+// handler-only server).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Sessions returns the live session count.
+func (s *Server) Sessions() int { return s.mgr.len() }
+
+// Metrics returns a merged snapshot of the server's and the database's
+// registries — the full serving picture under one set of names.
+func (s *Server) Metrics() obs.Snapshot {
+	snap := s.met.reg.Snapshot()
+	snap.Merge(s.db.Metrics())
+	return snap
+}
+
+// ServeOps mounts the debug/ops endpoints (expvar JSON, Prometheus
+// text, pprof) for the merged server + database registries on their own
+// listener, typically a non-public ops port. The caller owns the
+// returned server and must Close it.
+func (s *Server) ServeOps(addr string) (*obs.DebugServer, error) {
+	return obs.ServeDebug(addr, s.met.reg, s.db.Registry())
+}
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the server: new requests are rejected 503, in-flight
+// requests get up to DrainTimeout to finish, the session reaper and
+// (for a Start-ed server) the acceptor goroutine are stopped and
+// waited for. Idempotent; the first call's result wins.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.draining.Store(true)
+	s.met.draining.Set(1)
+	var err error
+	if s.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), s.opt.DrainTimeout)
+		err = s.srv.Shutdown(ctx)
+		cancel()
+		<-s.serveDone
+	}
+	close(s.reapStop)
+	<-s.reapDone
+	return err
+}
+
+// reapLoop is the session reaper: every ReapInterval it evicts sessions
+// idle past the TTL. It exits on Close.
+func (s *Server) reapLoop() {
+	defer close(s.reapDone)
+	ticker := time.NewTicker(s.opt.ReapInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case now := <-ticker.C:
+			s.mgr.reapExpired(now)
+		case <-s.reapStop:
+			return
+		}
+	}
+}
+
+// wrap is the common /v1 request pipeline: drain rejection, admission
+// control with queue-wait shedding, the per-request deadline, latency
+// metrics and a panic barrier.
+func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) (status int)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.met.drainRejects.Inc()
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		start := time.Now()
+		queued, err := s.adm.acquire(r.Context())
+		if queued {
+			s.met.queueWait.Observe(time.Since(start).Seconds())
+		}
+		if err != nil {
+			if errors.Is(err, errShed) {
+				s.met.shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+			} else { // client gave up while queued
+				writeError(w, statusClientClosedRequest, "client closed request")
+			}
+			return
+		}
+		defer s.adm.release()
+		s.met.inFlight.Set(float64(s.adm.inFlight()))
+		if s.testBlock != nil {
+			<-s.testBlock
+		}
+
+		ctx := r.Context()
+		if s.opt.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opt.RequestTimeout)
+			defer cancel()
+		}
+
+		status := http.StatusInternalServerError
+		defer func() {
+			if v := recover(); v != nil {
+				s.met.observeRequest(time.Since(start), status)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+				return
+			}
+			s.met.observeRequest(time.Since(start), status)
+		}()
+		status = h(w, r.WithContext(ctx))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:      "ok",
+		Items:       s.db.Len(),
+		Sessions:    s.mgr.len(),
+		InFlight:    s.adm.inFlight(),
+		MaxInFlight: s.adm.capacity(),
+	})
+}
+
+// clampK resolves a requested result size against the defaults and cap.
+func (s *Server) clampK(k int) int {
+	if k <= 0 {
+		return s.opt.DefaultK
+	}
+	if k > s.opt.MaxK {
+		return s.opt.MaxK
+	}
+	return k
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	qcluster "repro"
+)
+
+// managedSession is one tenant's feedback session plus the bookkeeping
+// the manager needs: a per-session mutex serializing that tenant's
+// feedback/results operations (the underlying Session is itself
+// concurrency-safe, but serialization gives each tenant
+// read-your-writes ordering across its own requests), and LRU/TTL
+// state guarded by the manager's lock.
+type managedSession struct {
+	id   string
+	mu   sync.Mutex // serializes this session's request handling
+	sess *qcluster.Session
+
+	// Guarded by the manager's lock.
+	elem     *list.Element
+	lastUsed time.Time
+	created  time.Time
+}
+
+// sessionManager maps opaque session IDs to live feedback sessions with
+// two eviction policies layered on one LRU list: capacity (creating a
+// session beyond MaxSessions evicts the least-recently-used one) and
+// idle TTL (a reaper goroutine owned by the Server calls reapExpired
+// periodically). Evicting a session mid-request is safe — the holder
+// keeps a valid *managedSession whose qcluster.Session outlives its map
+// entry; the id simply stops resolving for later requests.
+type sessionManager struct {
+	mu       sync.Mutex
+	sessions map[string]*managedSession
+	lru      *list.List // front = most recently used
+	capacity int
+	ttl      time.Duration
+	met      *serverMetrics
+}
+
+func newSessionManager(capacity int, ttl time.Duration, met *serverMetrics) *sessionManager {
+	return &sessionManager{
+		sessions: make(map[string]*managedSession),
+		lru:      list.New(),
+		capacity: capacity,
+		ttl:      ttl,
+		met:      met,
+	}
+}
+
+// newSessionID returns a 128-bit opaque hex id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable misconfiguration; the
+		// panic is converted to a 500 by the handler barrier.
+		panic("server: session id entropy unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// create registers a new session and returns its id, evicting the
+// least-recently-used session when the capacity is reached.
+func (m *sessionManager) create(sess *qcluster.Session, now time.Time) string {
+	id := newSessionID()
+	ms := &managedSession{id: id, sess: sess, lastUsed: now, created: now}
+	m.mu.Lock()
+	for m.capacity > 0 && len(m.sessions) >= m.capacity {
+		oldest := m.lru.Back()
+		if oldest == nil {
+			break
+		}
+		m.evictLocked(oldest.Value.(*managedSession))
+		m.met.sessEvictedLRU.Inc()
+	}
+	m.sessions[id] = ms
+	ms.elem = m.lru.PushFront(ms)
+	m.met.sessActive.Set(float64(len(m.sessions)))
+	m.mu.Unlock()
+	m.met.sessCreated.Inc()
+	return id
+}
+
+// get resolves an id and marks the session used (moving it to the LRU
+// front and refreshing its TTL clock).
+func (m *sessionManager) get(id string, now time.Time) (*managedSession, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.sessions[id]
+	if !ok {
+		m.met.sessMisses.Inc()
+		return nil, false
+	}
+	ms.lastUsed = now
+	m.lru.MoveToFront(ms.elem)
+	return ms, true
+}
+
+// remove deletes an id (explicit DELETE). It reports whether the id was
+// live.
+func (m *sessionManager) remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.sessions[id]
+	if !ok {
+		m.met.sessMisses.Inc()
+		return false
+	}
+	m.evictLocked(ms)
+	m.met.sessDeleted.Inc()
+	return true
+}
+
+// reapExpired evicts every session idle longer than the TTL, returning
+// how many it removed. A TTL <= 0 disables expiry.
+func (m *sessionManager) reapExpired(now time.Time) int {
+	if m.ttl <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-m.ttl)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	// Walk from the LRU back: the first fresh session ends the scan.
+	for e := m.lru.Back(); e != nil; {
+		ms := e.Value.(*managedSession)
+		if ms.lastUsed.After(cutoff) {
+			break
+		}
+		prev := e.Prev()
+		m.evictLocked(ms)
+		m.met.sessExpiredTTL.Inc()
+		n++
+		e = prev
+	}
+	return n
+}
+
+// evictLocked removes ms from the map and the LRU list. Caller holds
+// m.mu.
+func (m *sessionManager) evictLocked(ms *managedSession) {
+	delete(m.sessions, ms.id)
+	m.lru.Remove(ms.elem)
+	m.met.sessActive.Set(float64(len(m.sessions)))
+}
+
+// len returns the live session count.
+func (m *sessionManager) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}

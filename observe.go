@@ -48,6 +48,13 @@ type HistogramSnapshot = obs.HistogramSnapshot
 // shuts it down gracefully without leaking its goroutine.
 type DebugServer = obs.DebugServer
 
+// Registry is a live metrics registry (alias of the internal obs
+// registry): named atomic counters, gauges and histograms that can be
+// snapshotted and served together. A serving layer wrapping a Database
+// can merge the database's Registry with its own onto one debug
+// endpoint.
+type Registry = obs.Registry
+
 // SearchStats describes the index work one search performed — the
 // public mirror of the internal search statistics that every Search*
 // path previously discarded.
@@ -222,6 +229,12 @@ func (db *Database) Metrics() MetricsSnapshot { return db.met.reg.Snapshot() }
 func (db *Database) ServeDebug(addr string) (*DebugServer, error) {
 	return obs.ServeDebug(addr, db.met.reg)
 }
+
+// Registry returns the database's live metrics registry. Handles
+// resolved from it stay valid for the database's lifetime; callers that
+// serve it (or merge it with their own registries onto one ops
+// endpoint) observe the same counters Metrics snapshots.
+func (db *Database) Registry() *Registry { return db.met.reg }
 
 // sessionMetrics is the per-session slice of the instrumentation: the
 // same allocation-free primitives, owned by one Session.

@@ -169,8 +169,10 @@ func (q *Query) Health() Health {
 	return q.model.Health()
 }
 
-// rounds returns the number of feedback rounds the model has absorbed.
-func (q *Query) rounds() int {
+// Rounds returns the number of feedback rounds the model has absorbed
+// (rounds marking only already-seen or non-positive points don't
+// count). Persisted by Save, so a restored query resumes its count.
+func (q *Query) Rounds() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.model.Rounds()
