@@ -1,0 +1,306 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/linalg"
+)
+
+// The kernel experiment measures raw candidate-evaluation throughput:
+// the scalar Metric.Eval loop against the batched, bound-aware
+// BatchMetric kernels, each sweeping the same contiguous collection with
+// a running top-k pruning bound. It isolates the distance kernels from
+// index traversal, so the batch/abandonment win is measured directly,
+// and writes BENCH_kernel.json (schema in EXPERIMENTS.md).
+
+// kernelSide is one evaluation mode's measurements over a cell.
+type kernelSide struct {
+	MeanMs      float64 `json:"mean_ms"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+}
+
+// kernelCell is one (scheme, dim) workload.
+type kernelCell struct {
+	Scheme           string     `json:"scheme"`
+	Dim              int        `json:"dim"`
+	Scalar           kernelSide `json:"scalar"`
+	Batch            kernelSide `json:"batch"`
+	AbandonedFrac    float64    `json:"abandoned_frac"`
+	Speedup          float64    `json:"speedup"`
+	IdenticalResults bool       `json:"identical_results"`
+}
+
+// kernelReport is the BENCH_kernel.json document.
+type kernelReport struct {
+	Schema     string       `json:"schema"`
+	GoMaxProcs int          `json:"go_max_procs"`
+	N          int          `json:"n"`
+	K          int          `json:"k"`
+	Queries    int          `json:"queries"`
+	Seed       int64        `json:"seed"`
+	Cells      []kernelCell `json:"cells"`
+}
+
+func (r *runner) kernelBench() {
+	report := kernelReport{
+		Schema:     "qcluster-bench-kernel/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		N:          r.cfg.kernelN,
+		K:          r.cfg.k,
+		Queries:    r.cfg.queries,
+		Seed:       r.cfg.seed,
+	}
+	fmt.Printf("distance kernels: n=%d, k=%d, %d queries/cell\n\n", report.N, report.K, report.Queries)
+	fmt.Printf("%-12s %4s | %14s | %14s | %7s %9s %6s\n",
+		"scheme", "dim", "scalar Mev/s", "batch Mev/s", "speedup", "abandoned", "equal")
+	identical := true
+	for _, scheme := range []string{"euclidean", "quad-diag", "quad-full", "disjunctive"} {
+		for _, dim := range []int{8, 32} {
+			cell := runKernelCell(scheme, report.N, dim, report.K, report.Queries, report.Seed)
+			report.Cells = append(report.Cells, cell)
+			identical = identical && cell.IdenticalResults
+			fmt.Printf("%-12s %4d | %14.2f | %14.2f | %6.2fx %8.1f%% %6v\n",
+				cell.Scheme, cell.Dim,
+				cell.Scalar.EvalsPerSec/1e6, cell.Batch.EvalsPerSec/1e6,
+				cell.Speedup, 100*cell.AbandonedFrac, cell.IdenticalResults)
+		}
+	}
+	if r.cfg.kernelOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", r.cfg.kernelOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(r.cfg.kernelOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", r.cfg.kernelOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", r.cfg.kernelOut)
+	}
+	if !identical {
+		fmt.Fprintln(os.Stderr, "kernel: batch results diverged from scalar — bit-identity contract violated")
+		os.Exit(1)
+	}
+}
+
+// kernelMetric builds one metric of the named scheme with a random query
+// model at the given dimension.
+func kernelMetric(scheme string, rng *rand.Rand, dim int) distance.Metric {
+	center := func() linalg.Vector {
+		c := make(linalg.Vector, dim)
+		for d := range c {
+			c[d] = rng.NormFloat64() * 3
+		}
+		return c
+	}
+	spd := func() *linalg.Matrix {
+		a := linalg.NewMatrix(dim, dim)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		m := a.Mul(a.T())
+		for i := 0; i < dim; i++ {
+			m.Data[i*dim+i] += float64(dim) * 0.25
+		}
+		return m
+	}
+	switch scheme {
+	case "euclidean":
+		return &distance.Euclidean{Center: center()}
+	case "quad-diag":
+		w := make(linalg.Vector, dim)
+		for i := range w {
+			w[i] = 0.2 + rng.Float64()
+		}
+		return distance.NewQuadraticDiag(center(), w)
+	case "quad-full":
+		return distance.NewQuadraticFull(center(), spd())
+	case "disjunctive":
+		parts := make([]*distance.Quadratic, 3)
+		ws := make([]float64, len(parts))
+		for i := range parts {
+			parts[i] = distance.NewQuadraticFull(center(), spd())
+			ws[i] = 1 + rng.Float64()
+		}
+		return distance.NewDisjunctive(parts, ws)
+	default:
+		panic("unknown kernel scheme " + scheme)
+	}
+}
+
+// kernelBatchChunk is how many candidates each EvalBatch call covers in
+// the linear sweep: the pruning bound refreshes between chunks.
+const kernelBatchChunk = 256
+
+// runKernelCell sweeps one random collection with every query in both
+// modes and checks the top-k sets match exactly.
+func runKernelCell(scheme string, n, dim, k, queries int, seed int64) kernelCell {
+	rng := rand.New(rand.NewSource(seed + int64(131*dim) + int64(len(scheme))))
+	flat := make([]float64, n*dim)
+	for i := range flat {
+		flat[i] = rng.NormFloat64() * 3
+	}
+	metrics := make([]distance.Metric, queries)
+	for i := range metrics {
+		metrics[i] = kernelMetric(scheme, rng, dim)
+	}
+
+	cell := kernelCell{Scheme: scheme, Dim: dim, IdenticalResults: true}
+	out := make([]float64, kernelBatchChunk)
+	var scalarTotal, batchTotal time.Duration
+	var abandoned, batched int64
+	for _, m := range metrics {
+		t0 := time.Now()
+		hs := newTopK(k)
+		for id := 0; id < n; id++ {
+			hs.offer(id, m.Eval(linalg.Vector(flat[id*dim:(id+1)*dim])))
+		}
+		scalarTotal += time.Since(t0)
+
+		bm := m.(distance.BatchMetric)
+		t0 = time.Now()
+		hb := newTopK(k)
+		for start := 0; start < n; start += kernelBatchChunk {
+			end := start + kernelBatchChunk
+			if end > n {
+				end = n
+			}
+			bound := hb.bound()
+			chunk := out[:end-start]
+			bm.EvalBatch(flat[start*dim:end*dim], dim, bound, chunk)
+			finite := !math.IsInf(bound, 1)
+			for j, d := range chunk {
+				if finite && math.IsInf(d, 1) {
+					abandoned++
+					continue
+				}
+				hb.offer(start+j, d)
+			}
+		}
+		batchTotal += time.Since(t0)
+		batched += int64(n)
+
+		ws, gs := hs.sorted(), hb.sorted()
+		if len(ws) != len(gs) {
+			cell.IdenticalResults = false
+		} else {
+			for i := range ws {
+				if ws[i] != gs[i] {
+					cell.IdenticalResults = false
+					break
+				}
+			}
+		}
+	}
+	evals := int64(n) * int64(queries)
+	cell.Scalar = kernelSide{
+		MeanMs:      scalarTotal.Seconds() * 1e3 / float64(queries),
+		EvalsPerSec: float64(evals) / scalarTotal.Seconds(),
+	}
+	cell.Batch = kernelSide{
+		MeanMs:      batchTotal.Seconds() * 1e3 / float64(queries),
+		EvalsPerSec: float64(evals) / batchTotal.Seconds(),
+	}
+	if batchTotal > 0 {
+		cell.Speedup = scalarTotal.Seconds() / batchTotal.Seconds()
+	}
+	if batched > 0 {
+		cell.AbandonedFrac = float64(abandoned) / float64(batched)
+	}
+	return cell
+}
+
+// topK is a bounded max-heap keeping the k smallest (dist, id) pairs
+// under the same (Dist, ID) total order as the index's result heap, so
+// scalar and batch sweeps are compared on deterministic sets.
+type topK struct {
+	k     int
+	dists []float64
+	ids   []int
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (h *topK) less(d float64, id int, j int) bool {
+	if d != h.dists[j] {
+		return d < h.dists[j]
+	}
+	return id < h.ids[j]
+}
+
+// bound returns the k-th best distance, or +Inf while filling.
+func (h *topK) bound() float64 {
+	if len(h.dists) < h.k {
+		return math.Inf(1)
+	}
+	return h.dists[0]
+}
+
+func (h *topK) offer(id int, d float64) {
+	if len(h.dists) < h.k {
+		h.dists = append(h.dists, d)
+		h.ids = append(h.ids, id)
+		i := len(h.dists) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !h.less(h.dists[p], h.ids[p], i) {
+				break
+			}
+			h.swap(p, i)
+			i = p
+		}
+		return
+	}
+	if !h.less(d, id, 0) {
+		return
+	}
+	h.dists[0], h.ids[0] = d, id
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.dists) && h.less(h.dists[largest], h.ids[largest], l) {
+			largest = l
+		}
+		if r < len(h.dists) && h.less(h.dists[largest], h.ids[largest], r) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}
+
+func (h *topK) swap(i, j int) {
+	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+}
+
+type kernelResult struct {
+	id   int
+	dist float64
+}
+
+func (h *topK) sorted() []kernelResult {
+	out := make([]kernelResult, len(h.dists))
+	for i := range out {
+		out[i] = kernelResult{id: h.ids[i], dist: h.dists[i]}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].dist != out[b].dist {
+			return out[a].dist < out[b].dist
+		}
+		return out[a].id < out[b].id
+	})
+	return out
+}

@@ -24,6 +24,13 @@
 //
 //	qbench -exp obs -queries 20 -iters 4 -obsout BENCH_obs.json
 //
+// The "kernel" experiment (also not part of "all") benchmarks the
+// distance kernels themselves — the scalar Eval loop vs the batched,
+// bound-aware EvalBatch kernels with early abandonment — and writes
+// BENCH_kernel.json (see EXPERIMENTS.md):
+//
+//	qbench -exp kernel -queries 20 -kerneln 20000 -kernelout BENCH_kernel.json
+//
 // The "serve" experiment (also not part of "all") load-tests the HTTP
 // serving layer (internal/server) closed-loop: concurrent simulated
 // users run feedback rounds over localhost HTTP under steady, pressure
@@ -69,6 +76,10 @@ type config struct {
 	// obs-experiment knob
 	obsOut string
 
+	// kernel-experiment knobs
+	kernelN   int
+	kernelOut string
+
 	// serve-experiment knobs
 	users    int
 	serveOut string
@@ -91,6 +102,8 @@ func main() {
 	flag.IntVar(&cfg.parallelism, "parallelism", 0, "search workers for -exp search (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_search.json", "JSON output path for -exp search (empty to skip)")
 	flag.StringVar(&cfg.obsOut, "obsout", "BENCH_obs.json", "JSON output path for -exp obs (empty to skip)")
+	flag.IntVar(&cfg.kernelN, "kerneln", 20000, "collection size for -exp kernel")
+	flag.StringVar(&cfg.kernelOut, "kernelout", "BENCH_kernel.json", "JSON output path for -exp kernel (empty to skip)")
 	flag.IntVar(&cfg.users, "users", 64, "concurrent simulated users for -exp serve")
 	flag.StringVar(&cfg.serveOut, "serveout", "BENCH_serve.json", "JSON output path for -exp serve (empty to skip)")
 	flag.Parse()
@@ -178,6 +191,11 @@ func newRunner(cfg config) *runner {
 		// machine-readable trajectory in BENCH_search.json. Excluded from
 		// "all" — it measures the index, not the paper's figures.
 		"search": r.searchBench,
+		// Distance-kernel microbenchmark: scalar vs batched bound-aware
+		// evaluation over a contiguous sweep, machine-readable in
+		// BENCH_kernel.json. Excluded from "all" — it measures the
+		// kernels, not the paper's figures.
+		"kernel": r.kernelBench,
 		// Instrumentation exercise: per-round cluster evolution from the
 		// trace events, prune ratios, tracing overhead on/off. Excluded
 		// from "all" — it measures the observability layer.

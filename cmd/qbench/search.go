@@ -22,15 +22,17 @@ import (
 
 // searchSide is one traversal mode's measurements over a cell's queries.
 type searchSide struct {
-	P50Ms         float64 `json:"p50_ms"`
-	P95Ms         float64 `json:"p95_ms"`
-	MeanMs        float64 `json:"mean_ms"`
-	DistanceEvals int64   `json:"distance_evals"`
-	EvalsPerSec   float64 `json:"evals_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	MeanMs         float64 `json:"mean_ms"`
+	DistanceEvals  int64   `json:"distance_evals"`
+	AbandonedEvals int64   `json:"abandoned_evals"`
+	EvalsPerSec    float64 `json:"evals_per_sec"`
 }
 
-// searchCell is one (N, dim) workload.
+// searchCell is one (metric, N, dim) workload.
 type searchCell struct {
+	Metric           string     `json:"metric"`
 	N                int        `json:"n"`
 	Dim              int        `json:"dim"`
 	Sequential       searchSide `json:"sequential"`
@@ -52,7 +54,7 @@ type searchReport struct {
 
 func (r *runner) searchBench() {
 	report := searchReport{
-		Schema:      "qcluster-bench-search/v1",
+		Schema:      "qcluster-bench-search/v2",
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Parallelism: resolveWorkers(r.cfg.parallelism),
 		K:           r.cfg.k,
@@ -61,17 +63,19 @@ func (r *runner) searchBench() {
 	}
 	fmt.Printf("k-NN hot path: k=%d, %d queries/cell, %d workers (GOMAXPROCS %d)\n\n",
 		report.K, report.Queries, report.Parallelism, report.GoMaxProcs)
-	fmt.Printf("%8s %5s | %23s | %23s | %7s %6s\n",
-		"N", "dim", "sequential p50/p95 ms", "parallel   p50/p95 ms", "speedup", "equal")
-	for _, n := range []int{10000, 100000} {
-		for _, dim := range []int{8, 32} {
-			cell := runSearchCell(n, dim, report.K, report.Queries, report.Parallelism, report.Seed)
-			report.Cells = append(report.Cells, cell)
-			fmt.Printf("%8d %5d | %11.3f /%9.3f | %11.3f /%9.3f | %6.2fx %6v\n",
-				cell.N, cell.Dim,
-				cell.Sequential.P50Ms, cell.Sequential.P95Ms,
-				cell.Parallel.P50Ms, cell.Parallel.P95Ms,
-				cell.Speedup, cell.IdenticalResults)
+	fmt.Printf("%-9s %8s %5s | %23s | %23s | %7s %6s\n",
+		"metric", "N", "dim", "sequential p50/p95 ms", "parallel   p50/p95 ms", "speedup", "equal")
+	for _, metric := range []string{"euclidean", "quad-full"} {
+		for _, n := range []int{10000, 100000} {
+			for _, dim := range []int{8, 32} {
+				cell := runSearchCell(metric, n, dim, report.K, report.Queries, report.Parallelism, report.Seed)
+				report.Cells = append(report.Cells, cell)
+				fmt.Printf("%-9s %8d %5d | %11.3f /%9.3f | %11.3f /%9.3f | %6.2fx %6v\n",
+					cell.Metric, cell.N, cell.Dim,
+					cell.Sequential.P50Ms, cell.Sequential.P95Ms,
+					cell.Parallel.P50Ms, cell.Parallel.P95Ms,
+					cell.Speedup, cell.IdenticalResults)
+			}
 		}
 	}
 	if r.cfg.benchOut != "" {
@@ -100,8 +104,11 @@ func resolveWorkers(p int) int {
 }
 
 // runSearchCell builds one random collection and times every query in
-// both traversal modes, verifying the result sets match exactly.
-func runSearchCell(n, dim, k, queries, workers int, seed int64) searchCell {
+// both traversal modes, verifying the result sets match exactly. metric
+// selects the query model: "euclidean" centers, or "quad-full" —
+// Cholesky-whitened full-scheme quadratic forms around the same centers,
+// the cell where the batched kernels' early abandonment matters most.
+func runSearchCell(metric string, n, dim, k, queries, workers int, seed int64) searchCell {
 	rng := rand.New(rand.NewSource(seed + int64(31*n+dim)))
 	data := make([]float64, n*dim)
 	for i := range data {
@@ -114,6 +121,19 @@ func runSearchCell(n, dim, k, queries, workers int, seed int64) searchCell {
 	seq := index.NewHybridTree(store, index.TreeOptions{Parallelism: 1})
 	par := seq.WithParallelism(workers)
 
+	var inv *linalg.Matrix
+	if metric == "quad-full" {
+		// One well-conditioned random SPD weight matrix per cell; centers
+		// vary per query, as after a feedback-driven metric rebuild.
+		a := linalg.NewMatrix(dim, dim)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		inv = a.Mul(a.T())
+		for i := 0; i < dim; i++ {
+			inv.Data[i*dim+i] += float64(dim) * 0.25
+		}
+	}
 	centers := make([]linalg.Vector, queries)
 	for i := range centers {
 		c := make(linalg.Vector, dim)
@@ -123,12 +143,17 @@ func runSearchCell(n, dim, k, queries, workers int, seed int64) searchCell {
 		centers[i] = c
 	}
 
-	cell := searchCell{N: n, Dim: dim, IdenticalResults: true}
+	cell := searchCell{Metric: metric, N: n, Dim: dim, IdenticalResults: true}
 	var seqLat, parLat []float64
-	var seqEvals, parEvals int64
+	var seqEvals, parEvals, seqAbandon, parAbandon int64
 	var seqTotal, parTotal time.Duration
 	for _, c := range centers {
-		m := &distance.Euclidean{Center: c}
+		var m distance.Metric
+		if inv != nil {
+			m = distance.NewQuadraticFull(c, inv)
+		} else {
+			m = &distance.Euclidean{Center: c}
+		}
 
 		t0 := time.Now()
 		wantRes, sStats := seq.KNN(m, k)
@@ -136,6 +161,7 @@ func runSearchCell(n, dim, k, queries, workers int, seed int64) searchCell {
 		seqLat = append(seqLat, d.Seconds()*1e3)
 		seqTotal += d
 		seqEvals += int64(sStats.DistanceEvals)
+		seqAbandon += int64(sStats.AbandonedEvals)
 
 		t0 = time.Now()
 		gotRes, pStats := par.KNN(m, k)
@@ -143,6 +169,7 @@ func runSearchCell(n, dim, k, queries, workers int, seed int64) searchCell {
 		parLat = append(parLat, d.Seconds()*1e3)
 		parTotal += d
 		parEvals += int64(pStats.DistanceEvals)
+		parAbandon += int64(pStats.AbandonedEvals)
 
 		if len(gotRes) != len(wantRes) {
 			cell.IdenticalResults = false
@@ -156,7 +183,9 @@ func runSearchCell(n, dim, k, queries, workers int, seed int64) searchCell {
 		}
 	}
 	cell.Sequential = summarizeSide(seqLat, seqEvals, seqTotal)
+	cell.Sequential.AbandonedEvals = seqAbandon
 	cell.Parallel = summarizeSide(parLat, parEvals, parTotal)
+	cell.Parallel.AbandonedEvals = parAbandon
 	if parTotal > 0 {
 		cell.Speedup = seqTotal.Seconds() / parTotal.Seconds()
 	}

@@ -35,8 +35,12 @@ type Euclidean struct {
 	Center linalg.Vector
 }
 
-// Eval returns ||x - center||².
-func (e *Euclidean) Eval(x linalg.Vector) float64 { return e.Center.SqDist(x) }
+// Eval returns ||x - center||². It shares the batch kernel's row
+// evaluator (with abandonment disabled), so scalar and batched results
+// are bit-identical by construction.
+func (e *Euclidean) Eval(x linalg.Vector) float64 {
+	return e.evalRowBound(x, math.Inf(1))
+}
 
 // Dim returns the dimensionality.
 func (e *Euclidean) Dim() int { return e.Center.Dim() }
@@ -44,8 +48,10 @@ func (e *Euclidean) Dim() int { return e.Center.Dim() }
 // LowerBound returns the exact squared distance from the rectangle to the
 // center (MINDIST).
 func (e *Euclidean) LowerBound(lo, hi linalg.Vector) float64 {
+	center := e.Center
+	_, _ = lo[len(center)-1], hi[len(center)-1] // hoist bounds checks
 	var s float64
-	for i, c := range e.Center {
+	for i, c := range center {
 		switch {
 		case c < lo[i]:
 			d := lo[i] - c
@@ -60,13 +66,20 @@ func (e *Euclidean) LowerBound(lo, hi linalg.Vector) float64 {
 
 // Quadratic is the per-cluster generalized distance of Eq. 1:
 // d²(x) = (x - center)' W (x - center) with W = S⁻¹. The diagonal scheme
-// stores only the inverse diagonal (fast path); the full scheme keeps the
-// complete inverse plus its smallest eigenvalue for rectangle bounds.
+// stores only the inverse diagonal (fast path). The full scheme is
+// Cholesky-whitened: with W = Uᵀ U the form becomes ||U(x-c)||² — a
+// triangular mat-vec over a packed factor whose partial sums are
+// monotone non-decreasing, which is what lets the batch kernels abandon
+// a candidate the moment the accumulation exceeds a pruning bound. The
+// dense inverse is kept only for the rare non-positive-definite input,
+// where the factorization fails and evaluation falls back to the
+// general (non-abandonable) quadratic form.
 type Quadratic struct {
 	Center  linalg.Vector
-	invDiag linalg.Vector  // diagonal scheme
-	invFull *linalg.Matrix // full scheme
-	lambda  float64        // λ_min(W) for the full-scheme lower bound
+	invDiag linalg.Vector    // diagonal scheme
+	whiten  *linalg.UpperTri // full scheme: packed U with W = UᵀU
+	invFull *linalg.Matrix   // full scheme fallback when W is not PD
+	lambda  float64          // certified floor of λ_min(W) for rectangle bounds
 }
 
 // NewQuadraticDiag builds the diagonal-scheme quadratic distance. invDiag
@@ -79,17 +92,31 @@ func NewQuadraticDiag(center, invDiag linalg.Vector) *Quadratic {
 }
 
 // NewQuadraticFull builds the full inverse-matrix quadratic distance
-// (MindReader-style).
+// (MindReader-style). The weight matrix is Cholesky-factored once here:
+// the factor both whitens evaluation (||U(x-c)||², half the flops of
+// the dense form with early-abandonment support) and certifies the
+// λ_min floor for rectangle lower bounds without the per-rebuild Jacobi
+// eigensolve this constructor used to pay. Non-positive-definite input
+// (possible for degraded regularized inverses) keeps the old dense
+// path and eigensolve.
 func NewQuadraticFull(center linalg.Vector, inv *linalg.Matrix) *Quadratic {
 	if center.Dim() != inv.Rows || !inv.IsSquare() {
 		panic("distance: dimension mismatch")
+	}
+	q := &Quadratic{Center: center.Clone()}
+	if u, err := inv.CholeskyUpper(); err == nil {
+		q.whiten = u
+		q.lambda = linalg.SymLambdaMinFloor(inv)
+		return q
 	}
 	vals, _ := linalg.EigenSym(inv)
 	lambda := vals[len(vals)-1]
 	if lambda < 0 {
 		lambda = 0
 	}
-	return &Quadratic{Center: center.Clone(), invFull: inv.Clone(), lambda: lambda}
+	q.invFull = inv.Clone()
+	q.lambda = lambda
+	return q
 }
 
 // FromCluster builds the quadratic distance of a query cluster under the
@@ -106,17 +133,11 @@ func (q *Quadratic) Dim() int { return q.Center.Dim() }
 
 // Eval returns (x-c)' W (x-c). It keeps no per-call state, so one
 // metric may be evaluated from many goroutines at once — the parallel
-// k-NN leaf workers rely on this.
+// k-NN leaf workers rely on this. Both schemes share the batch kernels'
+// row evaluators (with abandonment disabled), so scalar and batched
+// results are bit-identical by construction.
 func (q *Quadratic) Eval(x linalg.Vector) float64 {
-	if q.invDiag != nil {
-		var s float64
-		for i, c := range q.Center {
-			d := x[i] - c
-			s += d * d * q.invDiag[i]
-		}
-		return s
-	}
-	return q.invFull.QuadFormDiff(x, q.Center)
+	return q.evalRowBound(x, math.Inf(1))
 }
 
 // LowerBound returns a lower bound of Eval over [lo, hi]. For the
@@ -125,8 +146,10 @@ func (q *Quadratic) Eval(x linalg.Vector) float64 {
 // bound since (x-c)'W(x-c) >= λ_min ||x-c||².
 func (q *Quadratic) LowerBound(lo, hi linalg.Vector) float64 {
 	if q.invDiag != nil {
+		center, w := q.Center, q.invDiag
+		_, _, _ = lo[len(center)-1], hi[len(center)-1], w[len(center)-1] // hoist bounds checks
 		var s float64
-		for i, c := range q.Center {
+		for i, c := range center {
 			var d float64
 			switch {
 			case c < lo[i]:
@@ -134,12 +157,14 @@ func (q *Quadratic) LowerBound(lo, hi linalg.Vector) float64 {
 			case c > hi[i]:
 				d = c - hi[i]
 			}
-			s += d * d * q.invDiag[i]
+			s += d * d * w[i]
 		}
 		return s
 	}
+	center := q.Center
+	_, _ = lo[len(center)-1], hi[len(center)-1] // hoist bounds checks
 	var s float64
-	for i, c := range q.Center {
+	for i, c := range center {
 		switch {
 		case c < lo[i]:
 			d := lo[i] - c
@@ -322,6 +347,34 @@ func (a *Aggregate) LowerBound(lo, hi linalg.Vector) float64 {
 }
 
 func (a *Aggregate) combine(f func(Metric) float64) float64 {
+	// Specialized integer exponents: α = ±2 (the fuzzy-OR configuration
+	// FALCON runs with, and its AND mirror) replace the two math.Pow
+	// calls of the general path with multiplications and a square root.
+	// math.Pow computes x² by mantissa squaring and x^±0.5 via Sqrt, so
+	// the fast path rounds identically to the general one on every
+	// normal input (asserted in TestAggregateIntAlphaMatchesPow).
+	switch a.Alpha {
+	case 2:
+		var s float64
+		for _, p := range a.Parts {
+			d := f(p)
+			if d < epsilonDist {
+				d = epsilonDist
+			}
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(a.Parts)))
+	case -2:
+		var s float64
+		for _, p := range a.Parts {
+			d := f(p)
+			if d < epsilonDist {
+				d = epsilonDist
+			}
+			s += 1 / (d * d)
+		}
+		return 1 / math.Sqrt(s/float64(len(a.Parts)))
+	}
 	var s float64
 	for _, p := range a.Parts {
 		d := f(p)

@@ -251,11 +251,20 @@ func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, se
 	seen := map[*treeNode]bool{}
 	var visited []*treeNode
 
+	be := newBatchEvaluator(m, t.store)
 	evalLeaf := func(n *treeNode) {
 		stats.LeavesVisited++
-		for _, id := range n.items {
-			stats.DistanceEvals++
-			h.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
+		stats.DistanceEvals += len(n.items)
+		if be != nil {
+			// Batched leaf sweep: the current k-th-best distance is the
+			// abandonment bound (evalInto disables abandonment while the
+			// heap is still filling).
+			stats.BatchedEvals += len(n.items)
+			stats.AbandonedEvals += be.evalInto(n.items, h.bound(), h)
+		} else {
+			for _, id := range n.items {
+				h.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
+			}
 		}
 		visited = append(visited, n)
 	}

@@ -89,6 +89,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 	ch := make(chan []*treeNode, workers)
 	heaps := make([]*resultHeap, workers)
 	evals := make([]int, workers)
+	abandons := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		h := newResultHeap(k)
@@ -96,21 +97,37 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			n := 0
+			be := newBatchEvaluator(m, t.store) // scratch buffers are per-goroutine
+			n, ab := 0, 0
 			for leaves := range ch {
 				for _, leaf := range leaves {
-					for _, id := range leaf.items {
-						n++
-						h.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
+					n += len(leaf.items)
+					if be != nil {
+						// Abandon against the tighter of the worker's own
+						// k-th best and the shared published bound: both are
+						// upper bounds of the merged k-th best, so a
+						// candidate certified past either can never reach
+						// the final result set.
+						eff := h.bound()
+						if sb := bound.load(); sb < eff {
+							eff = sb
+						}
+						ab += be.evalInto(leaf.items, eff, h)
+					} else {
+						for _, id := range leaf.items {
+							h.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
+						}
 					}
 				}
 				bound.tighten(h.bound())
 			}
 			evals[w] = n
+			abandons[w] = ab
 		}(w)
 	}
 
 	local := newResultHeap(k) // the traversal's own heap (warm-up leaves)
+	localBE := newBatchEvaluator(m, t.store)
 	seen := map[*treeNode]bool{}
 	var visited []*treeNode
 	var pending []*treeNode
@@ -129,9 +146,14 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 		if len(local.items) < k {
 			// Warm-up: evaluate inline so a finite bound exists before
 			// any batch reaches the pool.
-			for _, id := range n.items {
-				stats.DistanceEvals++
-				local.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
+			stats.DistanceEvals += len(n.items)
+			if localBE != nil {
+				stats.BatchedEvals += len(n.items)
+				stats.AbandonedEvals += localBE.evalInto(n.items, local.bound(), local)
+			} else {
+				for _, id := range n.items {
+					local.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
+				}
 			}
 			bound.tighten(local.bound())
 			return
@@ -151,6 +173,10 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 		for w, hw := range heaps {
 			local.merge(hw)
 			stats.DistanceEvals += evals[w]
+			if localBE != nil {
+				stats.BatchedEvals += evals[w]
+			}
+			stats.AbandonedEvals += abandons[w]
 		}
 		return local.sorted()
 	}

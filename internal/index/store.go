@@ -114,6 +114,16 @@ type SearchStats struct {
 	// ParallelBatches counts leaf batches dispatched to the worker pool
 	// (0 on the sequential path).
 	ParallelBatches int
+	// BatchedEvals counts the distance evaluations that went through the
+	// bound-aware batch kernels — a subset of DistanceEvals; 0 when the
+	// metric does not implement distance.BatchMetric.
+	BatchedEvals int
+	// AbandonedEvals counts batched evaluations the kernel cut short
+	// because the partial accumulation provably exceeded the pruning
+	// bound. Each still counts in DistanceEvals (it is work the search
+	// asked for), so AbandonedEvals/BatchedEvals is the fraction of
+	// candidate evaluations the kernels did not pay in full.
+	AbandonedEvals int
 }
 
 // Add accumulates other into s: work counters sum; Workers keeps the
@@ -125,6 +135,8 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.LeavesTotal += other.LeavesTotal
 	s.CacheSeedLeaves += other.CacheSeedLeaves
 	s.ParallelBatches += other.ParallelBatches
+	s.BatchedEvals += other.BatchedEvals
+	s.AbandonedEvals += other.AbandonedEvals
 	if other.Workers > s.Workers {
 		s.Workers = other.Workers
 	}

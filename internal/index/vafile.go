@@ -27,6 +27,11 @@ type ixMarks struct {
 	bounds []float64 // len = 2^bits + 1, ascending
 }
 
+// vaBatchItems is the refinement chunk size for batch-capable metrics:
+// small enough that the pruning bound refreshes frequently during the
+// candidate sweep, large enough to amortize the batch gather.
+const vaBatchItems = 64
+
 // VAFileOptions configures construction.
 type VAFileOptions struct {
 	// BitsPerDim is the approximation resolution (default 4 → 16 cells
@@ -145,6 +150,31 @@ func (va *VAFile) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
 	stats.NodesVisited = va.store.Len() // approximation entries scanned
 	sort.Slice(cands, func(a, b int) bool { return cands[a].bound < cands[b].bound })
 
+	if be := newBatchEvaluator(m, va.store); be != nil {
+		// Refine in chunks: each chunk admits every candidate whose lower
+		// bound beats the heap bound as of the chunk start. The bound is
+		// stale within a chunk, so the batch may refine a few candidates
+		// the scalar loop would have skipped — but a skipped candidate's
+		// exact distance exceeds its lower bound, which exceeds the final
+		// k-th best, so the extra refinements are rejected by the heap and
+		// the result set stays identical.
+		ids := make([]int, 0, vaBatchItems)
+		for i := 0; i < len(cands); {
+			b := h.bound()
+			if cands[i].bound > b {
+				break // every remaining candidate is at least this far
+			}
+			ids = ids[:0]
+			for i < len(cands) && len(ids) < vaBatchItems && cands[i].bound <= b {
+				ids = append(ids, cands[i].id)
+				i++
+			}
+			stats.DistanceEvals += len(ids)
+			stats.BatchedEvals += len(ids)
+			stats.AbandonedEvals += be.evalInto(ids, b, h)
+		}
+		return h.sorted(), stats
+	}
 	for _, c := range cands {
 		if c.bound > h.bound() {
 			break // every remaining candidate is at least this far
@@ -164,6 +194,42 @@ func (va *VAFile) Range(m distance.Metric, radius float64) ([]Result, SearchStat
 	hi := make(linalg.Vector, dim)
 	var out []Result
 	stats.NodesVisited = va.store.Len()
+	if be := newBatchEvaluator(m, va.store); be != nil {
+		// The radius is the natural abandonment bound: a candidate whose
+		// partial accumulation passes it can never be in range.
+		ids := make([]int, 0, vaBatchItems)
+		refine := func() {
+			if len(ids) == 0 {
+				return
+			}
+			stats.DistanceEvals += len(ids)
+			stats.BatchedEvals += len(ids)
+			dists, abandonOn := be.eval(ids, radius)
+			for k, id := range ids {
+				if abandonOn && math.IsInf(dists[k], 1) {
+					stats.AbandonedEvals++
+					continue
+				}
+				if dists[k] <= radius {
+					out = append(out, Result{ID: id, Dist: dists[k]})
+				}
+			}
+			ids = ids[:0]
+		}
+		for i := 0; i < va.store.Len(); i++ {
+			va.cellBox(i, lo, hi)
+			if m.LowerBound(lo, hi) > radius {
+				continue
+			}
+			ids = append(ids, i)
+			if len(ids) >= vaBatchItems {
+				refine()
+			}
+		}
+		refine()
+		sortResults(out)
+		return out, stats
+	}
 	for i := 0; i < va.store.Len(); i++ {
 		va.cellBox(i, lo, hi)
 		if m.LowerBound(lo, hi) > radius {

@@ -77,6 +77,13 @@ type SearchStats struct {
 	// Workers is the leaf-evaluation worker count the search ran with
 	// (1 = sequential path).
 	Workers int
+	// BatchedEvals counts the distance evaluations served by the
+	// bound-aware batch kernels (a subset of DistanceEvals; 0 when the
+	// metric has no batch implementation).
+	BatchedEvals int
+	// AbandonedEvals counts batched evaluations cut short because the
+	// partial sum provably exceeded the k-th-best pruning bound.
+	AbandonedEvals int
 	// PruneRatio is the fraction of leaves pruned: 1 -
 	// LeavesVisited/LeavesTotal.
 	PruneRatio float64
@@ -95,6 +102,8 @@ func searchStatsFromIndex(s index.SearchStats) SearchStats {
 		DistanceEvals:   s.DistanceEvals,
 		CacheSeedLeaves: s.CacheSeedLeaves,
 		Workers:         s.Workers,
+		BatchedEvals:    s.BatchedEvals,
+		AbandonedEvals:  s.AbandonedEvals,
 		PruneRatio:      s.PruneRatio(),
 	}
 }
@@ -153,6 +162,8 @@ type dbMetrics struct {
 	leavesVisited *obs.Counter
 	leavesPruned  *obs.Counter
 	distanceEvals *obs.Counter
+	batchedEvals  *obs.Counter
+	abandonEvals  *obs.Counter
 	cacheSeeds    *obs.Counter
 	pruneRatio    *obs.Histogram
 	adds          *obs.Counter
@@ -178,6 +189,8 @@ func newDBMetrics() *dbMetrics {
 		leavesVisited: reg.Counter("index.leaves_visited"),
 		leavesPruned:  reg.Counter("index.leaves_pruned"),
 		distanceEvals: reg.Counter("index.distance_evals"),
+		batchedEvals:  reg.Counter("index.batched_evals"),
+		abandonEvals:  reg.Counter("index.abandoned_evals"),
 		cacheSeeds:    reg.Counter("index.cache_seed_leaves"),
 		pruneRatio:    reg.Histogram("index.prune_ratio", obs.RatioBuckets()),
 		adds:          reg.Counter("db.adds"),
@@ -200,6 +213,8 @@ func (m *dbMetrics) observeSearch(elapsed time.Duration, k, results int, stats i
 		m.leavesPruned.Add(int64(pruned))
 	}
 	m.distanceEvals.Add(int64(stats.DistanceEvals))
+	m.batchedEvals.Add(int64(stats.BatchedEvals))
+	m.abandonEvals.Add(int64(stats.AbandonedEvals))
 	m.cacheSeeds.Add(int64(stats.CacheSeedLeaves))
 	if stats.LeavesTotal > 0 {
 		m.pruneRatio.Observe(stats.PruneRatio())
@@ -214,7 +229,8 @@ func (m *dbMetrics) observeSearch(elapsed time.Duration, k, results int, stats i
 // "search.partial", "search.degraded", ...), latency and size
 // histograms ("search.latency_seconds", "search.results", "search.k"),
 // index-work counters ("index.leaves_visited", "index.leaves_pruned",
-// "index.distance_evals", "index.cache_seed_leaves",
+// "index.distance_evals", "index.batched_evals",
+// "index.abandoned_evals", "index.cache_seed_leaves",
 // "index.prune_ratio") and feedback counters ("feedback.rounds",
 // "feedback.points"). Safe to call at any time, including while
 // searches are running.
