@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	qcluster "repro"
+)
+
+// The ingest experiment measures the durable write path end to end:
+// concurrent writers push single-vector Adds through the ingest batcher
+// (each acknowledged only after its WAL record is fsynced) while
+// searchers keep querying the same database, sweeping the fsync-batch
+// size to expose the group-commit trade-off — larger batches amortize
+// fsyncs into higher sustained QPS, at the cost of ack latency under
+// light load. It writes a machine-readable BENCH_ingest.json (schema in
+// EXPERIMENTS.md).
+
+type ingestPhase struct {
+	BatchSize       int     `json:"batch_size"`
+	Writers         int     `json:"writers"`
+	Searchers       int     `json:"searchers"`
+	Acked           int64   `json:"acked"`
+	Fsyncs          int64   `json:"fsyncs"`
+	WALRecords      int64   `json:"wal_records"`
+	WALBytes        int64   `json:"wal_bytes"`
+	Rotations       int64   `json:"rotations"`
+	MeanRecordVecs  float64 `json:"mean_record_vecs"`
+	IngestQPS       float64 `json:"ingest_qps"`
+	AckP50Ms        float64 `json:"ack_p50_ms"`
+	AckP95Ms        float64 `json:"ack_p95_ms"`
+	SearchP50Ms     float64 `json:"search_p50_ms"`
+	SearchP95Ms     float64 `json:"search_p95_ms"`
+	Searches        int64   `json:"searches"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+type ingestReport struct {
+	Schema  string        `json:"schema"`
+	SeedN   int           `json:"seed_n"`
+	Dim     int           `json:"dim"`
+	IngestN int           `json:"ingest_n"`
+	K       int           `json:"k"`
+	Seed    int64         `json:"seed"`
+	Phases  []ingestPhase `json:"phases"`
+}
+
+func (r *runner) ingestBench() {
+	const dim = 8
+	seedN := 1024
+	ingestN := r.cfg.ingestN
+	rng := rand.New(rand.NewSource(r.cfg.seed))
+	seed := make([][]float64, seedN)
+	for i := range seed {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		seed[i] = v
+	}
+
+	// Writers are closed-loop (each blocks on its ack), so the natural
+	// batch size is the number of writers that enqueue during one
+	// fsync — keep the pool well above the core count so group commit
+	// has co-batchers to merge even on small machines.
+	writers := 4 * runtime.GOMAXPROCS(0)
+	if writers > 16 {
+		writers = 16
+	}
+	if writers < 8 {
+		writers = 8
+	}
+	searchers := 2
+	report := ingestReport{
+		Schema:  "qcluster-bench-ingest/v1",
+		SeedN:   seedN,
+		Dim:     dim,
+		IngestN: ingestN,
+		K:       10,
+		Seed:    r.cfg.seed,
+	}
+	fmt.Printf("durable ingest benchmark: %d writers + %d searchers, %d vectors per phase, dim=%d\n\n",
+		writers, searchers, ingestN, dim)
+	fmt.Printf("%-6s %10s %8s %8s %10s %10s %10s %10s\n",
+		"batch", "acked", "fsyncs", "rec/fs", "qps", "ack p95", "srch p95", "rotations")
+
+	for _, batch := range []int{1, 8, 64, 256} {
+		ph := runIngestPhase(r.cfg.seed, seed, batch, writers, searchers, ingestN)
+		report.Phases = append(report.Phases, ph)
+		fmt.Printf("%-6d %10d %8d %8.1f %10.0f %8.2fms %8.2fms %10d\n",
+			ph.BatchSize, ph.Acked, ph.Fsyncs, ph.MeanRecordVecs,
+			ph.IngestQPS, ph.AckP95Ms, ph.SearchP95Ms, ph.Rotations)
+	}
+
+	if r.cfg.ingestOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", r.cfg.ingestOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(r.cfg.ingestOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", r.cfg.ingestOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", r.cfg.ingestOut)
+	}
+}
+
+// runIngestPhase opens a fresh durable directory and drives it with the
+// mixed writer/searcher pool until ingestN vectors are acked.
+func runIngestPhase(seed int64, seedVecs [][]float64, batch, writers, searchers, ingestN int) ingestPhase {
+	dir, err := os.MkdirTemp("", "qbench-ingest-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "temp dir: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	d, err := qcluster.OpenDatabase(dir, qcluster.DurableOptions{
+		Seed:      seedVecs,
+		BatchSize: batch,
+		MaxWait:   500 * time.Microsecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opening durable db: %v\n", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+	dim := len(seedVecs[0])
+
+	perWriter := ingestN / writers
+	ackLat := make([][]float64, writers)
+	searchLat := make([][]float64, searchers)
+	stop := make(chan struct{})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			lat := make([]float64, 0, perWriter)
+			v := make([]float64, dim)
+			for i := 0; i < perWriter; i++ {
+				for dd := range v {
+					v[dd] = rng.NormFloat64()
+				}
+				t0 := time.Now()
+				if _, err := d.Add(v); err != nil {
+					fmt.Fprintf(os.Stderr, "durable add: %v\n", err)
+					os.Exit(1)
+				}
+				lat = append(lat, time.Since(t0).Seconds())
+			}
+			ackLat[w] = lat
+		}(w)
+	}
+	var searchWG sync.WaitGroup
+	for s := 0; s < searchers; s++ {
+		searchWG.Add(1)
+		go func(s int) {
+			defer searchWG.Done()
+			rng := rand.New(rand.NewSource(seed + 1e6 + int64(s)))
+			var lat []float64
+			p := make([]float64, dim)
+			for {
+				select {
+				case <-stop:
+					searchLat[s] = lat
+					return
+				default:
+				}
+				for dd := range p {
+					p[dd] = rng.NormFloat64()
+				}
+				t0 := time.Now()
+				if res := d.SearchByExample(p, 10); len(res) == 0 {
+					fmt.Fprintln(os.Stderr, "concurrent search returned nothing")
+					os.Exit(1)
+				}
+				lat = append(lat, time.Since(t0).Seconds())
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	searchWG.Wait()
+
+	snap := d.Metrics()
+	acks := flatten(ackLat)
+	srch := flatten(searchLat)
+	sort.Float64s(acks)
+	sort.Float64s(srch)
+	ph := ingestPhase{
+		BatchSize:       batch,
+		Writers:         writers,
+		Searchers:       searchers,
+		Acked:           snap.Counters["ingest.acked"],
+		Fsyncs:          snap.Counters["wal.fsyncs"],
+		WALRecords:      snap.Counters["wal.records"],
+		WALBytes:        snap.Counters["wal.bytes"],
+		Rotations:       snap.Counters["wal.rotations"],
+		IngestQPS:       float64(len(acks)) / elapsed.Seconds(),
+		AckP50Ms:        quantile(acks, 0.50) * 1e3,
+		AckP95Ms:        quantile(acks, 0.95) * 1e3,
+		SearchP50Ms:     quantile(srch, 0.50) * 1e3,
+		SearchP95Ms:     quantile(srch, 0.95) * 1e3,
+		Searches:        int64(len(srch)),
+		DurationSeconds: elapsed.Seconds(),
+	}
+	if ph.WALRecords > 0 {
+		ph.MeanRecordVecs = float64(ph.Acked) / float64(ph.WALRecords)
+	}
+	return ph
+}
+
+func flatten(groups [][]float64) []float64 {
+	var out []float64
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}

@@ -38,6 +38,14 @@
 // BENCH_serve.json (see EXPERIMENTS.md):
 //
 //	qbench -exp serve -users 64 -iters 3 -serveout BENCH_serve.json
+//
+// The "ingest" experiment (also not part of "all") benchmarks the
+// durable write path: concurrent writers push fsync-acknowledged Adds
+// through the WAL group-commit batcher while searchers query the same
+// database, sweeping the fsync-batch size. Writes BENCH_ingest.json
+// (see EXPERIMENTS.md):
+//
+//	qbench -exp ingest -ingestn 4000 -ingestout BENCH_ingest.json
 package main
 
 import (
@@ -83,6 +91,10 @@ type config struct {
 	// serve-experiment knobs
 	users    int
 	serveOut string
+
+	// ingest-experiment knobs
+	ingestN   int
+	ingestOut string
 }
 
 func main() {
@@ -106,6 +118,8 @@ func main() {
 	flag.StringVar(&cfg.kernelOut, "kernelout", "BENCH_kernel.json", "JSON output path for -exp kernel (empty to skip)")
 	flag.IntVar(&cfg.users, "users", 64, "concurrent simulated users for -exp serve")
 	flag.StringVar(&cfg.serveOut, "serveout", "BENCH_serve.json", "JSON output path for -exp serve (empty to skip)")
+	flag.IntVar(&cfg.ingestN, "ingestn", 4000, "vectors ingested per phase for -exp ingest")
+	flag.StringVar(&cfg.ingestOut, "ingestout", "BENCH_ingest.json", "JSON output path for -exp ingest (empty to skip)")
 	flag.Parse()
 
 	ids := expandExperiments(cfg.exp)
@@ -205,6 +219,11 @@ func newRunner(cfg config) *runner {
 		// BENCH_serve.json. Excluded from "all" — it measures the server,
 		// not the paper's figures.
 		"serve": r.serveBench,
+		// Durable-ingest benchmark: fsync-batch sweep of sustained
+		// write QPS and ack latency with concurrent search, in
+		// BENCH_ingest.json. Excluded from "all" — it measures the WAL,
+		// not the paper's figures.
+		"ingest": r.ingestBench,
 	}
 	return r
 }

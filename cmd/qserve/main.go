@@ -1,22 +1,33 @@
 // Command qserve exposes a Qcluster retrieval database over HTTP: a
-// stateless k-NN search endpoint plus multi-tenant relevance-feedback
-// sessions, with admission control, per-request deadlines and graceful
-// drain on SIGINT/SIGTERM (see internal/server for the API).
+// stateless k-NN search endpoint, durable vector ingest, and
+// multi-tenant relevance-feedback sessions, with admission control,
+// per-request deadlines and graceful drain on SIGINT/SIGTERM (see
+// internal/server for the API).
 //
-// The collection is loaded from a cmd/qgen snapshot (-data) or built as
-// a synthetic Gaussian mixture (-n/-dim/-cats/-seed) so the server is
-// runnable out of the box:
+// With -data the collection lives in a durable directory: writes go
+// through a write-ahead log (acknowledged only after fsync), the store
+// snapshots atomically in the background, and a restart — graceful or
+// kill-9 — boots warm from snapshot + WAL replay with every
+// acknowledged write intact. A first boot seeds the directory from a
+// cmd/qgen snapshot (-dataset) or a synthetic Gaussian mixture
+// (-n/-dim/-cats/-seed). Without -data the collection is memory-only:
 //
-//	qserve -addr :8080 -ops :8081 -cats 20 -percat 100 -dim 8
+//	qserve -addr :8080 -ops :8081 -data /var/lib/qserve
+//	qserve -addr :8080 -cats 20 -percat 100 -dim 8          # ephemeral
 //
 // Endpoints (JSON):
 //
+//	POST   /v1/vectors                   durable ingest (single or batch)
 //	POST   /v1/search                    stateless k-NN around an example
 //	POST   /v1/sessions                  open a feedback session
 //	GET    /v1/sessions/{id}/results     retrieve with the refined query
 //	POST   /v1/sessions/{id}/feedback    mark relevant results
 //	DELETE /v1/sessions/{id}             close a session
-//	GET    /healthz                      liveness + capacity
+//	GET    /healthz                      liveness + capacity + durability
+//
+// A persistent disk error degrades the node to read-only: ingest
+// returns 503, searches keep serving, and /healthz reports status
+// "degraded" with the failure message.
 //
 // The ops port (-ops) serves /debug/vars, /metrics (Prometheus text)
 // and /debug/pprof with the server and database registries merged.
@@ -29,11 +40,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	qcluster "repro"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -42,12 +56,18 @@ func main() {
 		addr = flag.String("addr", ":8080", "API listen address")
 		ops  = flag.String("ops", "", "ops listen address for /metrics, /debug/vars, /debug/pprof (empty to disable)")
 
-		// Collection: snapshot or synthetic mixture.
-		data   = flag.String("data", "", "dataset snapshot from cmd/qgen (optional)")
-		cats   = flag.Int("cats", 16, "synthetic mixture: number of categories")
-		perCat = flag.Int("percat", 100, "synthetic mixture: vectors per category")
-		dim    = flag.Int("dim", 8, "synthetic mixture: dimensionality")
-		seed   = flag.Int64("seed", 2003, "synthetic mixture: random seed")
+		// Durability.
+		data      = flag.String("data", "", "durable data directory: WAL + snapshots, warm restart (empty = memory-only)")
+		walBatch  = flag.Int("wal-batch", 0, "max adds coalesced into one WAL fsync (0 = default)")
+		walWait   = flag.Duration("wal-maxwait", 0, "max time an add waits for co-batchers before its fsync (0 = default)")
+		snapBytes = flag.Int64("snapshot-bytes", 0, "WAL size that triggers a background snapshot rotation (0 = default, negative disables)")
+
+		// First-boot / memory-only collection: snapshot or synthetic mixture.
+		datasetPath = flag.String("dataset", "", "seed collection from a cmd/qgen dataset snapshot (optional)")
+		cats        = flag.Int("cats", 16, "synthetic mixture: number of categories")
+		perCat      = flag.Int("percat", 100, "synthetic mixture: vectors per category")
+		dim         = flag.Int("dim", 8, "synthetic mixture: dimensionality")
+		seed        = flag.Int64("seed", 2003, "synthetic mixture: random seed")
 
 		// Serving knobs (zero = internal/server default).
 		maxSessions    = flag.Int("max-sessions", 0, "session capacity before LRU eviction (0 = default)")
@@ -57,23 +77,20 @@ func main() {
 		requestTimeout = flag.Duration("request-timeout", 0, "per-request deadline (0 = default)")
 		drainTimeout   = flag.Duration("drain-timeout", 0, "graceful-drain budget on shutdown (0 = default)")
 		parallelism    = flag.Int("parallelism", 0, "search workers per query (0 = GOMAXPROCS)")
+
+		// Crash testing: SIGKILL this process when a named faultinject
+		// point fires (optionally the Nth firing), so an external harness
+		// can verify warm restart at exact durability boundaries.
+		crash   = flag.String("crash", "", "SIGKILL at this faultinject point (e.g. wal.post-fsync); crash testing only")
+		crashAt = flag.Int("crash-at", 1, "fire -crash on the Nth hit of the point")
 	)
 	flag.Parse()
 
-	vectors, err := loadVectors(*data, *cats, *perCat, *dim, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *crash != "" {
+		armCrash(*crash, *crashAt)
 	}
-	db, err := qcluster.NewDatabaseWithOptions(vectors, qcluster.IndexOptions{
-		SearchParallelism: *parallelism,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "building database: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("collection ready: %d vectors, %d dims\n", db.Len(), db.Dim())
 
+	indexOpt := qcluster.IndexOptions{SearchParallelism: *parallelism}
 	opt := server.Options{
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,
@@ -82,6 +99,46 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		DrainTimeout:   *drainTimeout,
 	}
+
+	var db *qcluster.Database
+	var durable *qcluster.DurableDatabase
+	if *data != "" {
+		seedVecs, err := loadVectors(*datasetPath, *cats, *perCat, *dim, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		durable, err = qcluster.OpenDatabase(*data, qcluster.DurableOptions{
+			Index:              indexOpt,
+			Seed:               seedVecs,
+			BatchSize:          *walBatch,
+			MaxWait:            *walWait,
+			SnapshotEveryBytes: *snapBytes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *data, err)
+			os.Exit(1)
+		}
+		defer durable.Close()
+		db = durable.Database
+		opt.Ingestor = durable
+		h := durable.Health()
+		fmt.Printf("durable boot from %s: %d vectors, %d dims (replayed %d records / %d vectors, truncated %d torn bytes)\n",
+			*data, h.Items, db.Dim(), h.ReplayedRecords, h.ReplayedVectors, h.TruncatedBytes)
+	} else {
+		vectors, err := loadVectors(*datasetPath, *cats, *perCat, *dim, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		db, err = qcluster.NewDatabaseWithOptions(vectors, indexOpt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building database: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("collection ready (memory-only): %d vectors, %d dims\n", db.Len(), db.Dim())
+	}
+
 	s, err := server.Start(*addr, db, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starting server: %v\n", err)
@@ -107,7 +164,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
 		os.Exit(1)
 	}
+	if durable != nil {
+		// Checkpoint so the next boot needs no replay; a failure here is
+		// not data loss (the WAL already has everything), just a slower
+		// restart.
+		if err := durable.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "final checkpoint: %v (next boot will replay the WAL)\n", err)
+		}
+	}
 	fmt.Printf("drained in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// armCrash installs a faultinject hook that SIGKILLs the process on the
+// n-th firing of point — no deferred functions, no flushes, exactly the
+// kill-9 the durability design must survive.
+func armCrash(point string, n int) {
+	if n < 1 {
+		n = 1
+	}
+	var hits atomic.Int64
+	faultinject.Set(point, func() {
+		if hits.Add(1) == int64(n) {
+			fmt.Fprintf(os.Stderr, "crash point %s hit %s: SIGKILL\n", point, strconv.Itoa(n))
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // unreachable: SIGKILL is not catchable
+		}
+	})
 }
 
 // loadVectors reads a qgen snapshot (serving its color-moment feature

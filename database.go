@@ -96,6 +96,59 @@ func (db *Database) Add(vector []float64) (id int, err error) {
 	return id, nil
 }
 
+// AddBatch appends a batch of items under one write lock and one index
+// epoch bump, returning their ids in input order. Compared with looping
+// over Add, a batch takes the store lock once (readers see either none
+// or all of the batch) and invalidates per-session refinement caches
+// once instead of per vector. The whole batch is validated up front:
+// on error (dimension mismatch, non-finite component) nothing is
+// applied. An empty batch is a no-op.
+func (db *Database) AddBatch(vectors [][]float64) (ids []int, err error) {
+	defer barrier("AddBatch", &err)
+	if len(vectors) == 0 {
+		return nil, nil
+	}
+	dim := db.Dim()
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("qcluster: batch vector %d has dimension %d, database has %d: %w",
+				i, len(v), dim, ErrDimensionMismatch)
+		}
+		for d, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("qcluster: batch vector %d component %d is not finite (%v)", i, d, x)
+			}
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ids = make([]int, len(vectors))
+	for i, v := range vectors {
+		id, aerr := db.store.Append(linalg.Vector(v))
+		if aerr != nil {
+			// Unreachable after the pre-validation above; a failure here
+			// would leave a partial batch, so surface it loudly.
+			panic(fmt.Sprintf("qcluster: batch append %d failed after validation: %v", i, aerr))
+		}
+		ids[i] = id
+	}
+	db.tree.InsertBatch(ids)
+	db.met.adds.Add(int64(len(ids)))
+	db.met.items.Set(float64(db.store.Len()))
+	return ids, nil
+}
+
+// AddBatchContext is AddBatch with an up-front cancellation check — the
+// form the serving layer's ingest path calls. The batch itself is not
+// interruptible (it holds the write lock briefly); on a DurableDatabase
+// the context also bounds the wait for the group-commit fsync.
+func (db *Database) AddBatchContext(ctx context.Context, vectors [][]float64) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qcluster: add not started: %w", err)
+	}
+	return db.AddBatch(vectors)
+}
+
 // Len returns the number of items.
 func (db *Database) Len() int {
 	db.mu.RLock()

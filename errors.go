@@ -3,6 +3,9 @@ package qcluster
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // ErrPartialResults tags errors returned alongside best-effort results
@@ -29,6 +32,28 @@ var ErrDimensionMismatch = errors.New("example dimension mismatch")
 // ErrInternal is the sentinel wrapped by every InternalError, so callers
 // can match the whole class with errors.Is(err, ErrInternal).
 var ErrInternal = errors.New("internal error")
+
+// ErrReadOnly is returned by every durable ingest call after a
+// persistent disk error (failed WAL append, fsync or snapshot write)
+// flipped the DurableDatabase into read-only degraded mode. Reads and
+// feedback sessions keep working; writes fail fast until the process is
+// restarted against healthy storage. The error wraps the original disk
+// failure.
+var ErrReadOnly = errors.New("database is read-only (durability degraded)")
+
+// ErrCorruptSnapshot tags snapshot decode failures — both query-model
+// snapshots (Query.Save/LoadQuery) and database store snapshots
+// (Database.Snapshot/OpenDatabase): truncation, bit flips and
+// semantically impossible contents all wrap it. Alias of the internal
+// core sentinel so the public and internal views cannot drift.
+var ErrCorruptSnapshot = core.ErrCorruptSnapshot
+
+// ErrCorruptLog tags write-ahead-log damage that cannot be a torn tail
+// (a checksum failure followed by intact records): truncating there
+// would silently drop acknowledged writes, so OpenDatabase refuses to
+// boot and the operator must restore from a snapshot. Alias of the
+// internal wal sentinel.
+var ErrCorruptLog = wal.ErrCorruptLog
 
 // InternalError is produced by the panic barrier at the public API
 // boundary: a panic escaping the math or index core (an invariant

@@ -2,14 +2,24 @@ package dataset
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/imagegen"
 	"repro/internal/linalg"
 	"repro/internal/pca"
 )
+
+// ErrCorruptDataset tags every rejected dataset snapshot: gob damage,
+// feature arrays whose lengths disagree with the collection config or
+// each other, vectors with inconsistent dimensionality, and non-finite
+// feature components. Gob guarantees only well-formed Go values, so the
+// semantic checks run on every Load — a silently mis-shaped dataset
+// would surface far away as wrong benchmark numbers, not as an error.
+var ErrCorruptDataset = errors.New("corrupt dataset snapshot")
 
 // snapshot is the gob wire format of a built dataset. Rendering and
 // extracting features for a large collection takes minutes; cmd/qgen
@@ -46,16 +56,30 @@ func (ds *Dataset) Save(w io.Writer, cfg imagegen.CollectionConfig) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// Load reads a dataset written by Save.
+// Load reads and validates a dataset written by Save. Every rejection
+// wraps ErrCorruptDataset.
 func Load(r io.Reader) (*Dataset, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("dataset: decode: %w", err)
+		return nil, fmt.Errorf("dataset: decode: %w: %w", ErrCorruptDataset, err)
 	}
 	col := imagegen.NewCollection(snap.CollectionCfg)
-	if col.NumImages() != len(snap.Color) {
-		return nil, fmt.Errorf("dataset: snapshot has %d vectors but config yields %d images",
-			len(snap.Color), col.NumImages())
+	n := col.NumImages()
+	if n == 0 {
+		return nil, fmt.Errorf("dataset: %w: config yields an empty collection", ErrCorruptDataset)
+	}
+	for _, f := range []struct {
+		name string
+		vecs []linalg.Vector
+	}{
+		{"color", snap.Color},
+		{"texture", snap.Texture},
+		{"raw color", snap.RawColor},
+		{"raw texture", snap.RawTexture},
+	} {
+		if err := validateFeature(f.name, f.vecs, n); err != nil {
+			return nil, err
+		}
 	}
 	return &Dataset{
 		Col:        col,
@@ -66,6 +90,33 @@ func Load(r io.Reader) (*Dataset, error) {
 		ColorPCA:   fromPCASnapshot(snap.ColorPCA),
 		TexturePCA: fromPCASnapshot(snap.TexturePCA),
 	}, nil
+}
+
+// validateFeature checks one feature family: exactly one vector per
+// image, every vector non-empty with the family's dimensionality, every
+// component finite.
+func validateFeature(name string, vecs []linalg.Vector, n int) error {
+	if len(vecs) != n {
+		return fmt.Errorf("dataset: %w: %s has %d vectors but config yields %d images",
+			ErrCorruptDataset, name, len(vecs), n)
+	}
+	dim := vecs[0].Dim()
+	if dim == 0 {
+		return fmt.Errorf("dataset: %w: %s vectors are empty", ErrCorruptDataset, name)
+	}
+	for i, v := range vecs {
+		if v.Dim() != dim {
+			return fmt.Errorf("dataset: %w: %s vector %d has dimension %d, family has %d",
+				ErrCorruptDataset, name, i, v.Dim(), dim)
+		}
+		for d, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("dataset: %w: %s vector %d component %d is not finite",
+					ErrCorruptDataset, name, i, d)
+			}
+		}
+	}
+	return nil
 }
 
 // SaveFile writes the dataset snapshot to path.

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"testing"
+)
+
+// saveSnapshot gob-encodes a raw snapshot, bypassing Save's invariants,
+// so tests can feed Load semantically damaged-but-well-formed streams.
+func saveSnapshot(t *testing.T, snap snapshot) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func builtSnapshot(t *testing.T) snapshot {
+	t.Helper()
+	cfg := smallConfig()
+	ds, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapshot{
+		CollectionCfg: cfg.Collection,
+		Color:         ds.Color,
+		Texture:       ds.Texture,
+		RawColor:      ds.RawColor,
+		RawTexture:    ds.RawTexture,
+		ColorPCA:      toPCASnapshot(ds.ColorPCA),
+		TexturePCA:    toPCASnapshot(ds.TexturePCA),
+	}
+}
+
+func TestLoadRejectsLengthMismatch(t *testing.T) {
+	snap := builtSnapshot(t)
+	// The config promises NumImages vectors; drop one color vector.
+	snap.Color = snap.Color[:len(snap.Color)-1]
+	if _, err := Load(saveSnapshot(t, snap)); !errors.Is(err, ErrCorruptDataset) {
+		t.Fatalf("short color array: %v, want ErrCorruptDataset", err)
+	}
+
+	snap = builtSnapshot(t)
+	snap.Texture = nil // whole family missing
+	if _, err := Load(saveSnapshot(t, snap)); !errors.Is(err, ErrCorruptDataset) {
+		t.Fatalf("missing texture array: %v, want ErrCorruptDataset", err)
+	}
+}
+
+func TestLoadRejectsDimMismatch(t *testing.T) {
+	snap := builtSnapshot(t)
+	snap.Color[7] = snap.Color[7][:1] // one vector shorter than its family
+	if _, err := Load(saveSnapshot(t, snap)); !errors.Is(err, ErrCorruptDataset) {
+		t.Fatalf("ragged color vector: %v, want ErrCorruptDataset", err)
+	}
+
+	snap = builtSnapshot(t)
+	snap.RawTexture[0] = nil // empty leading vector
+	if _, err := Load(saveSnapshot(t, snap)); !errors.Is(err, ErrCorruptDataset) {
+		t.Fatalf("empty raw texture vector: %v, want ErrCorruptDataset", err)
+	}
+}
+
+func TestLoadRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		snap := builtSnapshot(t)
+		v := append([]float64(nil), snap.Texture[3]...)
+		v[0] = bad
+		snap.Texture[3] = v
+		if _, err := Load(saveSnapshot(t, snap)); !errors.Is(err, ErrCorruptDataset) {
+			t.Fatalf("non-finite %v: %v, want ErrCorruptDataset", bad, err)
+		}
+	}
+}
+
+func TestLoadGarbageWrapsTypedError(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream")); !errors.Is(err, ErrCorruptDataset) {
+		t.Fatalf("garbage stream: %v, want ErrCorruptDataset", err)
+	}
+	if _, err := Load(bytes.NewBuffer(nil)); !errors.Is(err, ErrCorruptDataset) {
+		t.Fatalf("empty stream: %v, want ErrCorruptDataset", err)
+	}
+}
+
+func TestLoadValidRoundTripStillWorks(t *testing.T) {
+	// The validation must not reject the snapshots Save actually writes.
+	if _, err := Load(saveSnapshot(t, builtSnapshot(t))); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}

@@ -26,6 +26,30 @@ const (
 	// FeedbackBatch fires at the entry of QueryModel.Feedback, before the
 	// batch is filtered, so tests can observe or perturb feedback timing.
 	FeedbackBatch = "core.feedback-batch"
+
+	// WALPreFsync fires inside wal.Writer.Commit after the record bytes
+	// reached the OS buffer but before fsync. A crash here must lose the
+	// un-synced records and must NOT have acked them.
+	WALPreFsync = "wal.pre-fsync"
+	// WALPostFsync fires immediately after a successful fsync, before the
+	// committed records are applied or acked. A crash here leaves durable
+	// records that were never acknowledged; replay must still apply them
+	// as complete batches.
+	WALPostFsync = "wal.post-fsync"
+	// WALTornAppend, when enabled, makes the next wal.Writer.Commit write
+	// only a prefix of the final record's bytes (then fire the hook and
+	// fail): the on-disk image a power cut mid-write leaves behind.
+	// Replay must detect the torn tail and truncate it.
+	WALTornAppend = "wal.torn-append"
+	// WALFsyncError, when enabled, makes every wal fsync report an
+	// injected error without touching the file — the persistent-disk-
+	// failure path that must flip a durable database into read-only
+	// degraded mode.
+	WALFsyncError = "wal.fsync-error"
+	// SnapshotMidRename fires between writing+fsyncing a snapshot temp
+	// file and atomically renaming it into place. A crash here must boot
+	// from the previous snapshot plus the intact WAL.
+	SnapshotMidRename = "snapshot.mid-rename"
 )
 
 var (

@@ -36,10 +36,29 @@ func (s *Store) Append(v linalg.Vector) (int, error) {
 // contain their subtree's points — though heavy skewed insertion can
 // degrade balance versus a fresh bulk load.
 func (t *HybridTree) Insert(id int) {
+	t.epoch++
+	t.insertOne(id)
+}
+
+// InsertBatch adds a contiguous run of store vectors to the tree under a
+// single epoch bump — the batch-ingest path. One bump is enough for
+// correctness (refinement caches taken before the batch are invalidated
+// exactly once) and keeps cross-iteration caches warmer than bumping per
+// vector would.
+func (t *HybridTree) InsertBatch(ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	t.epoch++
+	for _, id := range ids {
+		t.insertOne(id)
+	}
+}
+
+func (t *HybridTree) insertOne(id int) {
 	if id < 0 || id >= t.store.Len() {
 		panic(fmt.Sprintf("index: insert id %d out of range", id))
 	}
-	t.epoch++
 	v := t.store.Vector(id)
 	n := t.root
 	for !n.isLeaf() {

@@ -74,6 +74,16 @@ func NewStoreFlat(data []float64, dim int) (*Store, error) {
 // Len returns the number of vectors.
 func (s *Store) Len() int { return s.n }
 
+// Flat returns the live contiguous component block (row-major, vector i
+// at [i*dim, (i+1)*dim)), capacity-capped so an append through it cannot
+// clobber the store. Treat as read-only; callers that need a stable copy
+// (e.g. snapshotting concurrent with Append) must copy under the
+// database's lock.
+func (s *Store) Flat() []float64 {
+	n := s.n * s.dim
+	return s.data[:n:n]
+}
+
 // Dim returns the feature dimensionality.
 func (s *Store) Dim() int { return s.dim }
 

@@ -34,6 +34,22 @@ type healthzResponse struct {
 	Sessions    int    `json:"sessions"`
 	InFlight    int    `json:"in_flight"`
 	MaxInFlight int    `json:"max_in_flight,omitempty"`
+	// Durability is present when the ingestor is a durable database:
+	// WAL footprint, boot-recovery stats, and the read-only degraded
+	// flag (which also flips Status to "degraded").
+	Durability *qcluster.DurabilityHealth `json:"durability,omitempty"`
+}
+
+// addVectorsRequest appends vectors. Exactly one of vector (single) or
+// vectors (batch) is required; a batch is acknowledged atomically —
+// either every vector is durable or none is.
+type addVectorsRequest struct {
+	Vector  []float64   `json:"vector,omitempty"`
+	Vectors [][]float64 `json:"vectors,omitempty"`
+}
+
+type addVectorsResponse struct {
+	IDs []int `json:"ids"`
 }
 
 type resultItem struct {
@@ -98,6 +114,30 @@ type resultsResponse struct {
 }
 
 // ---- handlers ----
+
+func (s *Server) handleAddVectors(w http.ResponseWriter, r *http.Request) int {
+	var req addVectorsRequest
+	if st := decodeBody(w, r, &req); st != 0 {
+		return st
+	}
+	batch := req.Vectors
+	if req.Vector != nil {
+		if batch != nil {
+			return fail(w, http.StatusBadRequest, "vector and vectors are mutually exclusive")
+		}
+		batch = [][]float64{req.Vector}
+	}
+	if len(batch) == 0 {
+		return fail(w, http.StatusBadRequest, "one of vector or vectors is required")
+	}
+	ids, err := s.opt.Ingestor.AddBatchContext(r.Context(), batch)
+	if err != nil {
+		return failErr(w, err)
+	}
+	s.met.ingested.Add(int64(len(ids)))
+	writeJSON(w, http.StatusOK, addVectorsResponse{IDs: ids})
+	return http.StatusOK
+}
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) int {
 	var req searchRequest
@@ -288,6 +328,10 @@ func failErr(w http.ResponseWriter, err error) int {
 // reaching here is a plain failure.
 func errStatus(err error) int {
 	switch {
+	case errors.Is(err, qcluster.ErrReadOnly):
+		// Durability degraded: the write path is down until the process
+		// restarts against healthy storage; reads still serve.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, qcluster.ErrDimensionMismatch):
 		return http.StatusBadRequest
 	case errors.Is(err, qcluster.ErrNotReady):

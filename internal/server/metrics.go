@@ -27,13 +27,14 @@ type serverMetrics struct {
 	latency        *obs.Histogram // request wall-clock, admission wait included
 	queueWait      *obs.Histogram // time spent waiting for an admission slot
 	searches       *obs.Counter   // /v1/search + /results retrievals served
+	ingested       *obs.Counter   // vectors accepted through POST /v1/vectors
 	sessActive     *obs.Gauge     // live sessions in the manager
 	sessCreated    *obs.Counter
-	sessDeleted    *obs.Counter   // explicit DELETE
-	sessEvictedLRU *obs.Counter   // capacity evictions
-	sessExpiredTTL *obs.Counter   // reaper TTL evictions
-	sessMisses     *obs.Counter   // requests naming an unknown/evicted session
-	feedbackRounds *obs.Counter   // feedback requests that absorbed points
+	sessDeleted    *obs.Counter // explicit DELETE
+	sessEvictedLRU *obs.Counter // capacity evictions
+	sessExpiredTTL *obs.Counter // reaper TTL evictions
+	sessMisses     *obs.Counter // requests naming an unknown/evicted session
+	feedbackRounds *obs.Counter // feedback requests that absorbed points
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -53,6 +54,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		latency:        reg.Histogram("server.request_latency_seconds", obs.LatencyBuckets()),
 		queueWait:      reg.Histogram("server.queue_wait_seconds", obs.LatencyBuckets()),
 		searches:       reg.Counter("server.searches"),
+		ingested:       reg.Counter("server.ingested"),
 		sessActive:     reg.Gauge("sessions.active"),
 		sessCreated:    reg.Counter("sessions.created"),
 		sessDeleted:    reg.Counter("sessions.deleted"),

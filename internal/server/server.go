@@ -4,6 +4,7 @@
 // admission control and a session manager with TTL and LRU-capacity
 // eviction.
 //
+//	POST   /v1/vectors                 durable ingest (single or batch)
 //	POST   /v1/search                  stateless k-NN by example
 //	POST   /v1/sessions                open a feedback session
 //	GET    /v1/sessions/{id}/results   current top-k of a session
@@ -74,6 +75,26 @@ type Options struct {
 	// a private registry. Either way Metrics() also folds in the
 	// database's registry.
 	Registry *obs.Registry
+	// Ingestor, when non-nil, handles POST /v1/vectors — normally the
+	// qcluster.DurableDatabase wrapping db, so HTTP ingest is
+	// acknowledged only after the write is fsynced. Nil falls back to
+	// the database's in-memory AddBatchContext (writes do not survive a
+	// restart).
+	Ingestor Ingestor
+}
+
+// Ingestor is the server's write path: it appends a validated batch and
+// returns the assigned ids, acknowledging durability according to the
+// implementation (qcluster.DurableDatabase fsyncs first; a plain
+// qcluster.Database is memory-only).
+type Ingestor interface {
+	AddBatchContext(ctx context.Context, vectors [][]float64) ([]int, error)
+}
+
+// healthReporter is implemented by durable ingestors
+// (qcluster.DurableDatabase); /healthz surfaces their durability state.
+type healthReporter interface {
+	Health() qcluster.DurabilityHealth
 }
 
 func (o Options) withDefaults() Options {
@@ -152,8 +173,12 @@ func New(db *qcluster.Database, opt Options) *Server {
 		reapStop: make(chan struct{}),
 		reapDone: make(chan struct{}),
 	}
+	if s.opt.Ingestor == nil {
+		s.opt.Ingestor = db
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/vectors", s.wrap(s.handleAddVectors))
 	mux.HandleFunc("POST /v1/search", s.wrap(s.handleSearch))
 	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
 	mux.HandleFunc("GET /v1/sessions/{id}/results", s.wrap(s.handleResults))
@@ -313,13 +338,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:      "ok",
 		Items:       s.db.Len(),
 		Sessions:    s.mgr.len(),
 		InFlight:    s.adm.inFlight(),
 		MaxInFlight: s.adm.capacity(),
-	})
+	}
+	if hr, ok := s.opt.Ingestor.(healthReporter); ok {
+		h := hr.Health()
+		resp.Durability = &h
+		if h.ReadOnly {
+			// Degraded, not down: reads still serve, so stay 200 and let
+			// the probe read the status string.
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // clampK resolves a requested result size against the defaults and cap.
