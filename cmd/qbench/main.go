@@ -46,6 +46,15 @@
 // (see EXPERIMENTS.md):
 //
 //	qbench -exp ingest -ingestn 4000 -ingestout BENCH_ingest.json
+//
+// The "shard" experiment (also not part of "all") benchmarks the
+// scatter-gather sharded tier (internal/shard): a bit-identity check of
+// every sharded configuration against the unsharded control (non-zero
+// exit on any divergence — the CI gate), then a shard count x
+// concurrent-users throughput sweep. Writes BENCH_shard.json (see
+// EXPERIMENTS.md):
+//
+//	qbench -exp shard -shardn 20000 -users 16 -shardout BENCH_shard.json
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -95,6 +105,11 @@ type config struct {
 	// ingest-experiment knobs
 	ingestN   int
 	ingestOut string
+
+	// shard-experiment knobs
+	shardN   int
+	shardDur time.Duration
+	shardOut string
 }
 
 func main() {
@@ -120,6 +135,9 @@ func main() {
 	flag.StringVar(&cfg.serveOut, "serveout", "BENCH_serve.json", "JSON output path for -exp serve (empty to skip)")
 	flag.IntVar(&cfg.ingestN, "ingestn", 4000, "vectors ingested per phase for -exp ingest")
 	flag.StringVar(&cfg.ingestOut, "ingestout", "BENCH_ingest.json", "JSON output path for -exp ingest (empty to skip)")
+	flag.IntVar(&cfg.shardN, "shardn", 20000, "collection size for -exp shard")
+	flag.DurationVar(&cfg.shardDur, "sharddur", 1500*time.Millisecond, "closed-loop duration per sweep cell for -exp shard")
+	flag.StringVar(&cfg.shardOut, "shardout", "BENCH_shard.json", "JSON output path for -exp shard (empty to skip)")
 	flag.Parse()
 
 	ids := expandExperiments(cfg.exp)
@@ -224,6 +242,12 @@ func newRunner(cfg config) *runner {
 		// BENCH_ingest.json. Excluded from "all" — it measures the WAL,
 		// not the paper's figures.
 		"ingest": r.ingestBench,
+		// Scatter-gather sharding benchmark: bit-identity gate vs the
+		// unsharded control (exits non-zero on divergence) plus a shard
+		// count x users throughput sweep, in BENCH_shard.json. Excluded
+		// from "all" — it measures the sharded tier, not the paper's
+		// figures.
+		"shard": r.shardBench,
 	}
 	return r
 }

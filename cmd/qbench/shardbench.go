@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	qcluster "repro"
+	"repro/internal/shard"
+)
+
+// The shard experiment measures the scatter-gather serving tier
+// (internal/shard): the same collection is searched unsharded (the
+// 1-shard control) and partitioned into 2/4/8 scatter-gather shards,
+// sweeping shard count x concurrent users. Before any timing it runs a
+// bit-identity check — every sharded top-k must equal the control's
+// bit-for-bit (ids, distance bits, order) — and exits non-zero on any
+// divergence, which is the CI gate. It writes BENCH_shard.json (schema
+// in EXPERIMENTS.md).
+
+type shardCell struct {
+	Shards  int     `json:"shards"` // 1 = unsharded control
+	Users   int     `json:"users"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+}
+
+type shardReport struct {
+	Schema       string `json:"schema"`
+	N            int    `json:"n"`
+	Dim          int    `json:"dim"`
+	K            int    `json:"k"`
+	Seed         int64  `json:"seed"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	CheckQueries int    `json:"check_queries"`
+	// IdenticalResults is the bit-identity verdict: every sharded
+	// configuration reproduced the unsharded top-k exactly on every
+	// check query. The experiment exits non-zero when false.
+	IdenticalResults bool        `json:"identical_results"`
+	Sweep            []shardCell `json:"sweep"`
+	// Headline: best multi-shard QPS over the 1-shard control at the
+	// same user count.
+	BaselineQPS float64 `json:"baseline_qps"`
+	BestQPS     float64 `json:"best_multi_shard_qps"`
+	BestShards  int     `json:"best_multi_shard_count"`
+	Speedup     float64 `json:"multi_shard_speedup"`
+}
+
+func (r *runner) shardBench() {
+	const dim = 8
+	n := r.cfg.shardN
+	k := r.cfg.k
+	seed := r.cfg.seed
+	vectors := shardWorld(n, dim, seed)
+
+	control, err := qcluster.NewDatabase(vectors)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building control: %v\n", err)
+		os.Exit(1)
+	}
+	shardCounts := []int{2, 4, 8}
+	sets := make(map[int]*shard.Set, len(shardCounts))
+	for _, sc := range shardCounts {
+		set, err := shard.New(vectors, sc, qcluster.IndexOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building %d-shard set: %v\n", sc, err)
+			os.Exit(1)
+		}
+		sets[sc] = set
+	}
+
+	report := shardReport{
+		Schema:     "qcluster-bench-shard/v1",
+		N:          n,
+		Dim:        dim,
+		K:          k,
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Bit-identity gate first: timing a diverging implementation would
+	// be timing a bug.
+	checks := r.cfg.queries
+	if checks < 50 {
+		checks = 50
+	}
+	report.CheckQueries = checks
+	rng := rand.New(rand.NewSource(seed + 17))
+	report.IdenticalResults = true
+	for q := 0; q < checks; q++ {
+		example := vectors[rng.Intn(n)]
+		want, err := control.SearchByExampleContext(context.Background(), example, k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "control query %d: %v\n", q, err)
+			os.Exit(1)
+		}
+		for _, sc := range shardCounts {
+			got, err := sets[sc].SearchByExampleContext(context.Background(), example, k)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%d-shard query %d: %v\n", sc, q, err)
+				os.Exit(1)
+			}
+			if d := diverges(want, got); d != "" {
+				report.IdenticalResults = false
+				fmt.Fprintf(os.Stderr, "DIVERGENCE shards=%d query %d: %s\n", sc, q, d)
+			}
+		}
+	}
+	fmt.Printf("bit-identity check: %d queries x %v shard counts vs unsharded control: identical=%v\n\n",
+		checks, shardCounts, report.IdenticalResults)
+
+	// Throughput sweep: shard count x concurrent users, closed loop.
+	userGrid := []int{1, r.cfg.users}
+	if r.cfg.users <= 1 {
+		userGrid = []int{1}
+	}
+	searchers := map[int]func(context.Context, []float64, int) ([]qcluster.Result, error){
+		1: control.SearchByExampleContext,
+	}
+	for _, sc := range shardCounts {
+		searchers[sc] = sets[sc].SearchByExampleContext
+	}
+	fmt.Printf("%-7s %6s %9s %10s %9s %9s\n", "shards", "users", "queries", "qps", "p50 ms", "p99 ms")
+	best := map[int]shardCell{} // users -> best multi-shard cell
+	base := map[int]shardCell{} // users -> 1-shard cell
+	for _, sc := range append([]int{1}, shardCounts...) {
+		for _, users := range userGrid {
+			cell := runShardCell(searchers[sc], vectors, sc, users, k, r.cfg.shardDur)
+			report.Sweep = append(report.Sweep, cell)
+			fmt.Printf("%-7d %6d %9d %10.0f %9.3f %9.3f\n",
+				cell.Shards, cell.Users, cell.Queries, cell.QPS, cell.P50Ms, cell.P99Ms)
+			if sc == 1 {
+				base[users] = cell
+			} else if cell.QPS > best[users].QPS {
+				best[users] = cell
+			}
+		}
+	}
+	for _, users := range userGrid {
+		b, m := base[users], best[users]
+		if m.Shards == 0 || b.QPS <= 0 {
+			continue
+		}
+		speedup := m.QPS / b.QPS
+		if speedup > report.Speedup {
+			report.BaselineQPS = b.QPS
+			report.BestQPS = m.QPS
+			report.BestShards = m.Shards
+			report.Speedup = speedup
+		}
+	}
+	fmt.Printf("\nbest multi-shard: %d shards at %.0f qps vs 1-shard %.0f qps (%.2fx)\n",
+		report.BestShards, report.BestQPS, report.BaselineQPS, report.Speedup)
+
+	if r.cfg.shardOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", r.cfg.shardOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(r.cfg.shardOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", r.cfg.shardOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", r.cfg.shardOut)
+	}
+	if !report.IdenticalResults {
+		fmt.Fprintln(os.Stderr, "FAIL: sharded results diverge from the unsharded control")
+		os.Exit(1)
+	}
+}
+
+// shardWorld synthesizes a clustered collection with plenty of
+// near-ties, deterministic in the seed.
+func shardWorld(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, 24)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for d := range centers[c] {
+			centers[c][d] = rng.Float64() * 12
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		ctr := centers[i%len(centers)]
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = ctr[d] + rng.NormFloat64()*0.6
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// diverges compares two result lists bit-for-bit, returning a
+// description of the first difference ("" when identical).
+func diverges(want, got []qcluster.Result) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID ||
+			math.Float64bits(want[i].Dist) != math.Float64bits(got[i].Dist) {
+			return fmt.Sprintf("result %d: got (%d, %x), want (%d, %x)",
+				i, got[i].ID, math.Float64bits(got[i].Dist),
+				want[i].ID, math.Float64bits(want[i].Dist))
+		}
+	}
+	return ""
+}
+
+// runShardCell drives one (shards, users) cell closed-loop for the cell
+// duration and reports throughput and client-observed latency.
+func runShardCell(search func(context.Context, []float64, int) ([]qcluster.Result, error),
+	vectors [][]float64, shards, users, k int, dur time.Duration) shardCell {
+	start := time.Now()
+	deadline := start.Add(dur)
+	lats := make([][]float64, users)
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7919*u + 13)))
+			for time.Now().Before(deadline) {
+				example := vectors[rng.Intn(len(vectors))]
+				t0 := time.Now()
+				if _, err := search(context.Background(), example, k); err != nil {
+					fmt.Fprintf(os.Stderr, "cell shards=%d users=%d: %v\n", shards, users, err)
+					os.Exit(1)
+				}
+				lats[u] = append(lats[u], time.Since(t0).Seconds())
+			}
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	cell := shardCell{Shards: shards, Users: users, Queries: len(all)}
+	if len(all) > 0 {
+		cell.QPS = float64(len(all)) / elapsed.Seconds()
+		cell.P50Ms = all[len(all)/2] * 1e3
+		cell.P99Ms = all[len(all)*99/100] * 1e3
+	}
+	return cell
+}

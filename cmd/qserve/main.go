@@ -29,6 +29,13 @@
 // returns 503, searches keep serving, and /healthz reports status
 // "degraded" with the failure message.
 //
+// With -shards N the collection is partitioned into N scatter-gather
+// shards (deterministic hash placement by id): searches fan out to all
+// shards under one shared k-th-best bound and merge bit-identically to
+// the unsharded answer, sessions pin to a consistent-hash home shard,
+// and /healthz + /metrics carry per-shard blocks. Combined with -data,
+// each shard keeps its own WAL directory under the data root.
+//
 // The ops port (-ops) serves /debug/vars, /metrics (Prometheus text)
 // and /debug/pprof with the server and database registries merged.
 package main
@@ -49,6 +56,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faultinject"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -77,6 +85,7 @@ func main() {
 		requestTimeout = flag.Duration("request-timeout", 0, "per-request deadline (0 = default)")
 		drainTimeout   = flag.Duration("drain-timeout", 0, "graceful-drain budget on shutdown (0 = default)")
 		parallelism    = flag.Int("parallelism", 0, "search workers per query (0 = GOMAXPROCS)")
+		shards         = flag.Int("shards", 1, "partition the collection into N scatter-gather shards, bit-identical to unsharded (1 = unsharded)")
 
 		// Crash testing: SIGKILL this process when a named faultinject
 		// point fires (optionally the Nth firing), so an external harness
@@ -102,7 +111,38 @@ func main() {
 
 	var db *qcluster.Database
 	var durable *qcluster.DurableDatabase
-	if *data != "" {
+	var set *shard.Set
+	if *shards > 1 {
+		seedVecs, err := loadVectors(*datasetPath, *cats, *perCat, *dim, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *data != "" {
+			set, err = shard.Open(*data, *shards, qcluster.DurableOptions{
+				Index:              indexOpt,
+				Seed:               seedVecs,
+				BatchSize:          *walBatch,
+				MaxWait:            *walWait,
+				SnapshotEveryBytes: *snapBytes,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opening sharded %s: %v\n", *data, err)
+				os.Exit(1)
+			}
+			defer set.Close()
+			fmt.Printf("durable sharded boot from %s: %d vectors, %d dims across %d shards\n",
+				*data, set.Len(), set.Dim(), set.NumShards())
+		} else {
+			set, err = shard.New(seedVecs, *shards, indexOpt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "building sharded set: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("sharded collection ready (memory-only): %d vectors, %d dims across %d shards\n",
+				set.Len(), set.Dim(), set.NumShards())
+		}
+	} else if *data != "" {
 		seedVecs, err := loadVectors(*datasetPath, *cats, *perCat, *dim, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -139,7 +179,13 @@ func main() {
 		fmt.Printf("collection ready (memory-only): %d vectors, %d dims\n", db.Len(), db.Dim())
 	}
 
-	s, err := server.Start(*addr, db, opt)
+	var s *server.Server
+	var err error
+	if set != nil {
+		s, err = server.StartSharded(*addr, set, opt)
+	} else {
+		s, err = server.Start(*addr, db, opt)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starting server: %v\n", err)
 		os.Exit(1)
@@ -170,6 +216,11 @@ func main() {
 		// restart.
 		if err := durable.Checkpoint(); err != nil {
 			fmt.Fprintf(os.Stderr, "final checkpoint: %v (next boot will replay the WAL)\n", err)
+		}
+	}
+	if set != nil && set.Durable() {
+		if err := set.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "final checkpoint: %v (next boot will replay the WALs)\n", err)
 		}
 	}
 	fmt.Printf("drained in %s\n", time.Since(start).Round(time.Millisecond))

@@ -35,6 +35,14 @@ type DurableOptions struct {
 	// truncates the WAL) when the active log grows past it. Default
 	// 64 MiB; negative disables automatic rotation.
 	SnapshotEveryBytes int64
+	// TrimToItems, when positive, drops every recovered vector beyond the
+	// first TrimToItems at boot, before the boot checkpoint. The sharded
+	// set uses it to roll a shard back to the longest globally consistent
+	// prefix when a crash tore a cross-shard batch: the trimmed suffix is
+	// by construction unacknowledged (an acknowledged global batch is
+	// durable on every shard), so durability semantics are unchanged.
+	// 0 (the default) keeps everything.
+	TrimToItems int
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -71,6 +79,9 @@ type DurabilityHealth struct {
 	// TruncatedBytes is the torn tail dropped from the log at boot
 	// (non-zero exactly when the previous process died mid-append).
 	TruncatedBytes int64 `json:"truncated_bytes"`
+	// TrimmedVectors counts recovered vectors dropped at boot by
+	// DurableOptions.TrimToItems (cross-shard consistency rollback).
+	TrimmedVectors int `json:"trimmed_vectors,omitempty"`
 	// Snapshots counts snapshot rotations this process completed
 	// (including the boot checkpoint).
 	Snapshots int64 `json:"snapshots"`
@@ -226,6 +237,13 @@ func OpenDatabase(dir string, opt DurableOptions) (_ *DurableDatabase, err error
 		}
 		health.ReplayedRecords += stats.Records
 		health.TruncatedBytes += stats.TruncatedBytes
+	}
+
+	// Cross-shard consistency rollback: drop the unacknowledged suffix a
+	// torn multi-shard batch left behind (see DurableOptions.TrimToItems).
+	if opt.TrimToItems > 0 && dim > 0 && len(flat) > opt.TrimToItems*dim {
+		health.TrimmedVectors = len(flat)/dim - opt.TrimToItems
+		flat = flat[:opt.TrimToItems*dim]
 	}
 
 	if len(flat) == 0 {

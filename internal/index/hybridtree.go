@@ -216,7 +216,7 @@ func (q *nodeQueue) Pop() interface{} {
 // pruned once their bound exceeds the kth-best distance found so far.
 // k <= 0 yields no results.
 func (t *HybridTree) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
-	res, stats, _, _ := t.knnSeeded(context.Background(), m, k, nil)
+	res, stats, _, _ := t.knnSeeded(context.Background(), m, k, nil, nil)
 	return res, stats
 }
 
@@ -226,7 +226,19 @@ func (t *HybridTree) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
 // best-effort results accumulated so far together with ctx.Err(). A nil
 // error means the search ran to completion and the results are exact.
 func (t *HybridTree) KNNContext(ctx context.Context, m distance.Metric, k int) ([]Result, SearchStats, error) {
-	res, stats, _, err := t.knnSeeded(ctx, m, k, nil)
+	res, stats, _, err := t.knnSeeded(ctx, m, k, nil, nil)
+	return res, stats, err
+}
+
+// KNNSharedContext is KNNContext with an externally owned pruning bound:
+// concurrent searches over sibling shards pass the same *SharedBound so
+// each tightens — and prunes against — the global k-th-best distance.
+// Each participant still returns its own local top-k (restricted to
+// candidates that can reach the global top-k); the caller merges the
+// per-shard result sets with the usual (Dist, ID) order. A nil ext
+// behaves exactly like KNNContext.
+func (t *HybridTree) KNNSharedContext(ctx context.Context, m distance.Metric, k int, ext *SharedBound) ([]Result, SearchStats, error) {
+	res, stats, _, err := t.knnSeeded(ctx, m, k, nil, ext)
 	return res, stats, err
 }
 
@@ -237,7 +249,14 @@ func (t *HybridTree) KNNContext(ctx context.Context, m distance.Metric, k int) (
 // iterations. It returns the leaves visited so callers can cache them,
 // plus a non-nil ctx.Err() when the traversal was cut short (results are
 // then the best found so far, still sorted).
-func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, seed []*treeNode) ([]Result, SearchStats, []*treeNode, error) {
+//
+// A non-nil ext couples this search to concurrent sibling-shard searches
+// through one shared atomic bound (see KNNSharedContext): pruning and
+// abandonment use min(local k-th best, shared bound), and the local k-th
+// best is published after every leaf. Pruned candidates are exactly
+// those certifiably past the global k-th best, so the union of all
+// participants' results still contains the global top-k bit-identically.
+func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, seed []*treeNode, ext *SharedBound) ([]Result, SearchStats, []*treeNode, error) {
 	var stats SearchStats
 	stats.LeavesTotal = t.numLeaves
 	stats.Workers = 1
@@ -245,11 +264,24 @@ func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, se
 		return nil, stats, nil, ctx.Err()
 	}
 	if t.parallelism > 1 && t.store.Len() >= t.parMinItems {
-		return t.knnSeededParallel(ctx, m, k, seed)
+		return t.knnSeededParallel(ctx, m, k, seed, ext)
 	}
 	h := newResultHeap(k)
 	seen := map[*treeNode]bool{}
 	var visited []*treeNode
+
+	// bound is the effective pruning bound: the local k-th best, further
+	// tightened by the cross-shard shared bound when one is attached.
+	bound := h.bound
+	if ext != nil {
+		bound = func() float64 {
+			b := h.bound()
+			if sb := ext.Load(); sb < b {
+				b = sb
+			}
+			return b
+		}
+	}
 
 	be := newBatchEvaluator(m, t.store)
 	evalLeaf := func(n *treeNode) {
@@ -260,11 +292,14 @@ func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, se
 			// abandonment bound (evalInto disables abandonment while the
 			// heap is still filling).
 			stats.BatchedEvals += len(n.items)
-			stats.AbandonedEvals += be.evalInto(n.items, h.bound(), h)
+			stats.AbandonedEvals += be.evalInto(n.items, bound(), h)
 		} else {
 			for _, id := range n.items {
 				h.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
 			}
+		}
+		if ext != nil {
+			ext.Tighten(h.bound())
 		}
 		visited = append(visited, n)
 	}
@@ -288,7 +323,7 @@ func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, se
 			return h.sorted(), stats, visited, err
 		}
 		e := heap.Pop(q).(nodeEntry)
-		if e.bound > h.bound() {
+		if e.bound > bound() {
 			break // every remaining node is at least this far
 		}
 		stats.NodesVisited++
@@ -305,7 +340,7 @@ func (t *HybridTree) knnSeeded(ctx context.Context, m distance.Metric, k int, se
 				continue
 			}
 			b := m.LowerBound(child.lo, child.hi)
-			if b <= h.bound() {
+			if b <= bound() {
 				heap.Push(q, nodeEntry{node: child, bound: b})
 			}
 		}
@@ -346,10 +381,19 @@ func (r *RefinementSearcher) KNN(m distance.Metric, k int) ([]Result, SearchStat
 // discarding them would make the retry start colder than the previous
 // completed search.
 func (r *RefinementSearcher) KNNContext(ctx context.Context, m distance.Metric, k int) ([]Result, SearchStats, error) {
+	return r.KNNSharedContext(ctx, m, k, nil)
+}
+
+// KNNSharedContext is KNNContext with an externally owned pruning bound
+// (see HybridTree.KNNSharedContext): per-shard refinement searchers pass
+// one *SharedBound per scatter-gather query so the shards prune against
+// the global k-th best while each keeps its own cross-iteration leaf
+// cache. A nil ext behaves exactly like KNNContext.
+func (r *RefinementSearcher) KNNSharedContext(ctx context.Context, m distance.Metric, k int, ext *SharedBound) ([]Result, SearchStats, error) {
 	if r.epoch != r.tree.epoch {
 		r.cached = nil
 	}
-	res, stats, visited, err := r.tree.knnSeeded(ctx, m, k, r.cached)
+	res, stats, visited, err := r.tree.knnSeeded(ctx, m, k, r.cached, ext)
 	if err != nil {
 		r.cached = unionLeaves(visited, r.cached)
 	} else {

@@ -35,27 +35,30 @@ func resolveParallelism(p int) int {
 	return p
 }
 
-// sharedBound is the k-th-best distance published across search workers,
-// stored as float64 bits in an atomic. Distances are non-negative, and
-// for non-negative floats the bit patterns order like the values, so a
-// compare-and-swap min needs no float reinterpretation tricks beyond
-// math.Float64bits. The bound only ever decreases; readers may see a
-// slightly stale (larger) value, which makes pruning conservative —
-// never wrong.
-type sharedBound struct {
+// SharedBound is the k-th-best distance published across search workers
+// — and, since the sharded scatter-gather tier, across whole per-shard
+// searches — stored as float64 bits in an atomic. Distances are
+// non-negative, and for non-negative floats the bit patterns order like
+// the values, so a compare-and-swap min needs no float reinterpretation
+// tricks beyond math.Float64bits. The bound only ever decreases; readers
+// may see a slightly stale (larger) value, which makes pruning
+// conservative — never wrong.
+type SharedBound struct {
 	bits atomic.Uint64
 }
 
-func newSharedBound() *sharedBound {
-	b := &sharedBound{}
+// NewSharedBound returns a bound initialized to +Inf (nothing pruned).
+func NewSharedBound() *SharedBound {
+	b := &SharedBound{}
 	b.bits.Store(math.Float64bits(math.Inf(1)))
 	return b
 }
 
-func (b *sharedBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+// Load returns the current published bound.
+func (b *SharedBound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
 
-// tighten lowers the published bound to v if v is smaller.
-func (b *sharedBound) tighten(v float64) {
+// Tighten lowers the published bound to v if v is smaller.
+func (b *SharedBound) Tighten(v float64) {
 	nb := math.Float64bits(v)
 	for {
 		old := b.bits.Load()
@@ -79,12 +82,22 @@ func (b *sharedBound) tighten(v float64) {
 // To give the pool a finite bound to prune with, the traversal evaluates
 // leaves inline until its own heap holds k results (the same leaves a
 // sequential search would start with), then switches to dispatching.
-func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k int, seed []*treeNode) ([]Result, SearchStats, []*treeNode, error) {
+//
+// A non-nil ext is used as the shared bound instead of a fresh one, so
+// concurrent searches over sibling shards tighten (and prune against)
+// one global k-th-best. Every value any participant publishes is an
+// upper bound of the union's k-th best, so the same conservativeness
+// argument applies across shards and the merged result set stays
+// bit-identical to one unsharded search.
+func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k int, seed []*treeNode, ext *SharedBound) ([]Result, SearchStats, []*treeNode, error) {
 	var stats SearchStats
 	stats.LeavesTotal = t.numLeaves
 	workers := t.parallelism
 	stats.Workers = workers
-	bound := newSharedBound()
+	bound := ext
+	if bound == nil {
+		bound = NewSharedBound()
+	}
 
 	ch := make(chan []*treeNode, workers)
 	heaps := make([]*resultHeap, workers)
@@ -109,7 +122,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 						// candidate certified past either can never reach
 						// the final result set.
 						eff := h.bound()
-						if sb := bound.load(); sb < eff {
+						if sb := bound.Load(); sb < eff {
 							eff = sb
 						}
 						ab += be.evalInto(leaf.items, eff, h)
@@ -119,7 +132,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 						}
 					}
 				}
-				bound.tighten(h.bound())
+				bound.Tighten(h.bound())
 			}
 			evals[w] = n
 			abandons[w] = ab
@@ -155,7 +168,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 					local.offer(Result{ID: id, Dist: m.Eval(t.store.Vector(id))})
 				}
 			}
-			bound.tighten(local.bound())
+			bound.Tighten(local.bound())
 			return
 		}
 		pending = append(pending, n)
@@ -200,7 +213,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 			return finish(), stats, visited, err
 		}
 		e := heap.Pop(q).(nodeEntry)
-		if e.bound > bound.load() {
+		if e.bound > bound.Load() {
 			break // the bound only tightens: every remaining node stays pruned
 		}
 		stats.NodesVisited++
@@ -216,7 +229,7 @@ func (t *HybridTree) knnSeededParallel(ctx context.Context, m distance.Metric, k
 			if child == nil {
 				continue
 			}
-			if b := m.LowerBound(child.lo, child.hi); b <= bound.load() {
+			if b := m.LowerBound(child.lo, child.hi); b <= bound.Load() {
 				heap.Push(q, nodeEntry{node: child, bound: b})
 			}
 		}

@@ -38,6 +38,9 @@ type healthzResponse struct {
 	// WAL footprint, boot-recovery stats, and the read-only degraded
 	// flag (which also flips Status to "degraded").
 	Durability *qcluster.DurabilityHealth `json:"durability,omitempty"`
+	// Shards is present on a sharded backend: one block per shard with
+	// its item count, durability state, and home-pinned session count.
+	Shards []shardHealthBlock `json:"shards,omitempty"`
 }
 
 // addVectorsRequest appends vectors. Exactly one of vector (single) or
@@ -84,6 +87,10 @@ type createSessionRequest struct {
 type createSessionResponse struct {
 	SessionID  string  `json:"session_id"`
 	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// HomeShard is the consistent-hash home of the session id on a
+	// sharded backend — the affinity hint a fronting load balancer can
+	// pin the tenant with. Absent when unsharded.
+	HomeShard *int `json:"home_shard,omitempty"`
 }
 
 // feedbackPoint is one relevance judgement. A point whose vector is
@@ -150,12 +157,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) int {
 			return fail(w, http.StatusBadRequest, "one of vector or example_id is required")
 		}
 		var ok bool
-		if example, ok = s.db.VectorOK(*req.ExampleID); !ok {
+		if example, ok = s.be.VectorOK(*req.ExampleID); !ok {
 			return fail(w, http.StatusBadRequest, "example_id %d is not in the database", *req.ExampleID)
 		}
 	}
 	s.met.searches.Inc()
-	res, err := s.db.SearchByExampleContext(r.Context(), example, s.clampK(req.K))
+	res, err := s.be.SearchByExampleContext(r.Context(), example, s.clampK(req.K))
 	if err != nil && !errors.Is(err, qcluster.ErrPartialResults) {
 		return failErr(w, err)
 	}
@@ -178,13 +185,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) int
 			return fail(w, http.StatusBadRequest, "one of example or example_id is required")
 		}
 		var ok bool
-		if example, ok = s.db.VectorOK(*req.ExampleID); !ok {
+		if example, ok = s.be.VectorOK(*req.ExampleID); !ok {
 			return fail(w, http.StatusBadRequest, "example_id %d is not in the database", *req.ExampleID)
 		}
 	}
-	if len(example) != s.db.Dim() {
+	if len(example) != s.be.Dim() {
 		return fail(w, http.StatusBadRequest,
-			"example has dimension %d, database has %d", len(example), s.db.Dim())
+			"example has dimension %d, database has %d", len(example), s.be.Dim())
 	}
 	opt := s.opt.Query
 	switch req.Scheme {
@@ -206,11 +213,19 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) int
 	if req.MaxQueryPoints != 0 {
 		opt.MaxQueryPoints = req.MaxQueryPoints
 	}
-	id := s.mgr.create(s.db.NewSession(example, opt), timeNow())
-	writeJSON(w, http.StatusCreated, createSessionResponse{
+	// The id is generated before the session: on a sharded backend it is
+	// the consistent-hash routing key that picks the session's home.
+	id := newSessionID()
+	sess, home := s.be.NewSessionRouted(example, opt, id)
+	s.mgr.insert(id, sess, home, timeNow())
+	resp := createSessionResponse{
 		SessionID:  id,
 		TTLSeconds: s.opt.SessionTTL.Seconds(),
-	})
+	}
+	if home >= 0 {
+		resp.HomeShard = &home
+	}
+	writeJSON(w, http.StatusCreated, resp)
 	return http.StatusCreated
 }
 
@@ -219,7 +234,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) int {
 	if !ok {
 		return fail(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 	}
-	k := s.opt.DefaultK
+	k := s.clampK(0)
 	if kq := r.URL.Query().Get("k"); kq != "" {
 		n, err := strconv.Atoi(kq)
 		if err != nil {
@@ -268,7 +283,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) int {
 		vec := p.Vector
 		if vec == nil && p.Score > 0 {
 			var found bool
-			if vec, found = s.db.VectorOK(p.ID); !found {
+			if vec, found = s.be.VectorOK(p.ID); !found {
 				return fail(w, http.StatusBadRequest, "point %d: id %d is not in the database", i, p.ID)
 			}
 		}

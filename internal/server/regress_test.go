@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	qcluster "repro"
+)
+
+// TestInFlightGaugeDropsToZero is the regression test for the in-flight
+// gauge accounting: the gauge used to be Set only after acquire (never
+// on release), so a snapshot racing another request's release could
+// leave it stuck above zero forever on an idle server. Paired Add(±1)
+// must read exactly zero once load drains.
+func TestInFlightGaugeDropsToZero(t *testing.T) {
+	db, _ := testDB(t)
+	s := startServer(t, db, Options{})
+	body, err := json.Marshal(searchRequest{Vector: db.Vector(0), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				resp, err := http.Post("http://"+s.Addr()+"/v1/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("search = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Metrics().Gauges["server.in_flight"]; got != 0 {
+		t.Fatalf("server.in_flight = %v after load drained, want 0", got)
+	}
+	if got := s.adm.inFlight(); got != 0 {
+		t.Fatalf("admission in-flight = %d after load drained, want 0", got)
+	}
+}
+
+// TestPanicRecoveryAfterResponseStarted is the regression test for the
+// panic barrier: when a handler panics after committing the response,
+// the recovery must not stack a second status line and error body onto
+// the bytes already sent; when it panics before writing, the 500 still
+// goes out.
+func TestPanicRecoveryAfterResponseStarted(t *testing.T) {
+	db, _ := testDB(t)
+	s := New(db, Options{})
+	defer s.Close()
+
+	late := s.wrap(func(w http.ResponseWriter, _ *http.Request) int {
+		writeJSON(w, http.StatusOK, searchResponse{})
+		panic("after commit")
+	})
+	rec := httptest.NewRecorder()
+	late(rec, httptest.NewRequest("POST", "/v1/search", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("committed status overwritten: %d", rec.Code)
+	}
+	if body := rec.Body.String(); strings.Contains(body, "internal error") {
+		t.Fatalf("error body appended to committed response: %q", body)
+	}
+
+	early := s.wrap(func(http.ResponseWriter, *http.Request) int {
+		panic("before any write")
+	})
+	rec = httptest.NewRecorder()
+	early(rec, httptest.NewRequest("POST", "/v1/search", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("unwritten panic = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "internal error") {
+		t.Fatalf("500 body missing the error: %q", body)
+	}
+}
+
+// TestDefaultKClampedToMaxK is the regression test for Options
+// validation: a DefaultK above MaxK used to pass through withDefaults
+// unchecked, handing requests that omit k more results than any request
+// may ask for.
+func TestDefaultKClampedToMaxK(t *testing.T) {
+	opt := Options{MaxK: 5, DefaultK: 50}.withDefaults()
+	if opt.DefaultK != 5 {
+		t.Fatalf("withDefaults DefaultK = %d, want clamped to MaxK 5", opt.DefaultK)
+	}
+
+	db, _ := testDB(t)
+	s := startServer(t, db, Options{MaxK: 5, DefaultK: 50})
+	var sr searchResponse
+	if st, raw := call(t, s, "POST", "/v1/search", searchRequest{Vector: db.Vector(0)}, &sr); st != http.StatusOK {
+		t.Fatalf("search = %d: %s", st, raw)
+	}
+	if len(sr.Results) != 5 {
+		t.Fatalf("k-less search returned %d results, want MaxK 5", len(sr.Results))
+	}
+	ex := 0
+	var created createSessionResponse
+	if st, _ := call(t, s, "POST", "/v1/sessions", createSessionRequest{ExampleID: &ex}, &created); st != 201 {
+		t.Fatal("create session failed")
+	}
+	var rr resultsResponse
+	if st, raw := call(t, s, "GET", "/v1/sessions/"+created.SessionID+"/results", nil, &rr); st != http.StatusOK {
+		t.Fatalf("results = %d: %s", st, raw)
+	}
+	if len(rr.Results) != 5 {
+		t.Fatalf("k-less session results returned %d, want MaxK 5", len(rr.Results))
+	}
+}
+
+// TestSessionTTLEnforcedAtAccess is the regression test for TTL
+// resurrection: get used to refresh lastUsed unconditionally, so a
+// request landing between reaper passes would revive a session that
+// had already sat idle past its TTL.
+func TestSessionTTLEnforcedAtAccess(t *testing.T) {
+	m, db := managerFixture(t, 0, time.Minute)
+	now := time.Unix(1000, 0)
+	id := insertSession(m, db.NewSession(db.Vector(0), qcluster.Options{}), now)
+
+	// Within the TTL the access refreshes the clock...
+	if _, ok := m.get(id, now.Add(50*time.Second)); !ok {
+		t.Fatal("fresh session must resolve")
+	}
+	// ...but once idle past it, the access itself expires the session
+	// instead of resurrecting it (no reaper pass in between).
+	if _, ok := m.get(id, now.Add(50*time.Second).Add(61*time.Second)); ok {
+		t.Fatal("TTL-expired session resurrected by access")
+	}
+	if _, ok := m.get(id, now); ok {
+		t.Fatal("expired session still resolvable")
+	}
+	if m.len() != 0 {
+		t.Fatalf("expired session still counted: len = %d", m.len())
+	}
+	if got := m.met.sessExpiredTTL.Value(); got != 1 {
+		t.Fatalf("sessions.expired_ttl = %d, want 1", got)
+	}
+	if got := m.met.sessMisses.Value(); got != 2 {
+		t.Fatalf("sessions.misses = %d, want 2 (expiry + later lookup)", got)
+	}
+
+	// TTL disabled: arbitrarily old sessions keep resolving.
+	m2, _ := managerFixture(t, 0, -1)
+	id2 := insertSession(m2, db.NewSession(db.Vector(1), qcluster.Options{}), now)
+	if _, ok := m2.get(id2, now.Add(1e6*time.Second)); !ok {
+		t.Fatal("TTL-disabled session expired")
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	qcluster "repro"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // Options tunes the serving layer. The zero value is a sane production
@@ -128,6 +129,11 @@ func (o Options) withDefaults() Options {
 	if o.DefaultK <= 0 {
 		o.DefaultK = 20
 	}
+	if o.DefaultK > o.MaxK {
+		// A default above the cap would let requests that omit k receive
+		// more results than any request may ask for.
+		o.DefaultK = o.MaxK
+	}
 	return o
 }
 
@@ -136,7 +142,7 @@ func (o Options) withDefaults() Options {
 // and, for a started server, drains in-flight requests and waits for
 // the acceptor goroutine.
 type Server struct {
-	db  *qcluster.Database
+	be  Backend
 	opt Options
 	mgr *sessionManager
 	adm *admission
@@ -159,13 +165,26 @@ type Server struct {
 	testBlock chan struct{}
 }
 
-// New builds a server over db and starts its session reaper. The caller
-// owns serving Handler() and must Close the server to stop the reaper.
+// New builds a server over a single unsharded database and starts its
+// session reaper. The caller owns serving Handler() and must Close the
+// server to stop the reaper.
 func New(db *qcluster.Database, opt Options) *Server {
+	return newServer(dbBackend{db}, opt)
+}
+
+// NewSharded builds a server over a sharded set: /v1/search fans out to
+// every shard (scatter-gather, bit-identical to unsharded), sessions
+// pin to a consistent-hash home shard by session id, POST /v1/vectors
+// routes by placement, and healthz/metrics grow per-shard blocks.
+func NewSharded(set *shard.Set, opt Options) *Server {
+	return newServer(setBackend{set}, opt)
+}
+
+func newServer(be Backend, opt Options) *Server {
 	opt = opt.withDefaults()
 	met := newServerMetrics(opt.Registry)
 	s := &Server{
-		db:       db,
+		be:       be,
 		opt:      opt,
 		met:      met,
 		mgr:      newSessionManager(opt.MaxSessions, opt.SessionTTL, met),
@@ -174,7 +193,7 @@ func New(db *qcluster.Database, opt Options) *Server {
 		reapDone: make(chan struct{}),
 	}
 	if s.opt.Ingestor == nil {
-		s.opt.Ingestor = db
+		s.opt.Ingestor = be
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -193,7 +212,15 @@ func New(db *qcluster.Database, opt Options) *Server {
 // port — read it back from Addr). The acceptor runs on its own
 // goroutine until Close.
 func Start(addr string, db *qcluster.Database, opt Options) (*Server, error) {
-	s := New(db, opt)
+	return listen(addr, New(db, opt))
+}
+
+// StartSharded is NewSharded plus a listening HTTP server on addr.
+func StartSharded(addr string, set *shard.Set, opt Options) (*Server, error) {
+	return listen(addr, NewSharded(set, opt))
+}
+
+func listen(addr string, s *Server) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		_ = s.Close()
@@ -225,11 +252,13 @@ func (s *Server) Addr() string {
 // Sessions returns the live session count.
 func (s *Server) Sessions() int { return s.mgr.len() }
 
-// Metrics returns a merged snapshot of the server's and the database's
-// registries — the full serving picture under one set of names.
+// Metrics returns a merged snapshot of the server's and the backend's
+// registries — the full serving picture under one set of names. A
+// sharded backend contributes its set-level block plus every shard's
+// metrics re-keyed under "shard<i>.".
 func (s *Server) Metrics() obs.Snapshot {
 	snap := s.met.reg.Snapshot()
-	snap.Merge(s.db.Metrics())
+	snap.Merge(s.be.Metrics())
 	return snap
 }
 
@@ -238,7 +267,7 @@ func (s *Server) Metrics() obs.Snapshot {
 // listener, typically a non-public ops port. The caller owns the
 // returned server and must Close it.
 func (s *Server) ServeOps(addr string) (*obs.DebugServer, error) {
-	return obs.ServeDebug(addr, s.met.reg, s.db.Registry())
+	return obs.ServeDebug(addr, s.met.reg, s.be.Registry())
 }
 
 // Draining reports whether Close has begun.
@@ -307,8 +336,14 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) (status int)) h
 			}
 			return
 		}
-		defer s.adm.release()
-		s.met.inFlight.Set(float64(s.adm.inFlight()))
+		// Paired inc/dec keeps the gauge exact under concurrency; a
+		// Set-from-snapshot on either edge can race another request's
+		// release and leave the gauge stuck above zero on an idle server.
+		s.met.inFlight.Add(1)
+		defer func() {
+			s.adm.release()
+			s.met.inFlight.Add(-1)
+		}()
 		if s.testBlock != nil {
 			<-s.testBlock
 		}
@@ -320,17 +355,40 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) (status int)) h
 			defer cancel()
 		}
 
+		sr := &statusRecorder{ResponseWriter: w}
 		status := http.StatusInternalServerError
 		defer func() {
 			if v := recover(); v != nil {
 				s.met.observeRequest(time.Since(start), status)
-				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+				// Only synthesize a 500 when the handler never started the
+				// response; stacking a second status line and error body
+				// onto committed bytes corrupts the reply mid-stream.
+				if !sr.wrote {
+					writeError(sr, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+				}
 				return
 			}
 			s.met.observeRequest(time.Since(start), status)
 		}()
-		status = h(w, r.WithContext(ctx))
+		status = h(sr, r.WithContext(ctx))
 	}
+}
+
+// statusRecorder tracks whether the wrapped handler has begun writing
+// the response, so the panic barrier knows if a 500 can still be sent.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -340,7 +398,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	resp := healthzResponse{
 		Status:      "ok",
-		Items:       s.db.Len(),
+		Items:       s.be.Len(),
 		Sessions:    s.mgr.len(),
 		InFlight:    s.adm.inFlight(),
 		MaxInFlight: s.adm.capacity(),
@@ -351,6 +409,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		if h.ReadOnly {
 			// Degraded, not down: reads still serve, so stay 200 and let
 			// the probe read the status string.
+			resp.Status = "degraded"
+		}
+	}
+	if sb, ok := s.be.(setBackend); ok {
+		byHome := s.mgr.countByHome(sb.NumShards())
+		health := sb.Health()
+		resp.Shards = make([]shardHealthBlock, len(health))
+		for i, h := range health {
+			resp.Shards[i] = shardHealthBlock{ShardHealth: h, Sessions: byHome[i]}
+		}
+		if sb.ReadOnly() {
 			resp.Status = "degraded"
 		}
 	}

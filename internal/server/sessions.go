@@ -6,8 +6,6 @@ import (
 	"encoding/hex"
 	"sync"
 	"time"
-
-	qcluster "repro"
 )
 
 // managedSession is one tenant's feedback session plus the bookkeeping
@@ -19,7 +17,8 @@ import (
 type managedSession struct {
 	id   string
 	mu   sync.Mutex // serializes this session's request handling
-	sess *qcluster.Session
+	sess Session
+	home int // home shard (-1 when the backend is unsharded)
 
 	// Guarded by the manager's lock.
 	elem     *list.Element
@@ -64,11 +63,12 @@ func newSessionID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// create registers a new session and returns its id, evicting the
-// least-recently-used session when the capacity is reached.
-func (m *sessionManager) create(sess *qcluster.Session, now time.Time) string {
-	id := newSessionID()
-	ms := &managedSession{id: id, sess: sess, lastUsed: now, created: now}
+// insert registers sess under id with its routing home, evicting the
+// least-recently-used session when the capacity is reached. The caller
+// generates the id first (newSessionID) because a sharded backend
+// routes the session by it before the session exists.
+func (m *sessionManager) insert(id string, sess Session, home int, now time.Time) {
+	ms := &managedSession{id: id, sess: sess, home: home, lastUsed: now, created: now}
 	m.mu.Lock()
 	for m.capacity > 0 && len(m.sessions) >= m.capacity {
 		oldest := m.lru.Back()
@@ -83,11 +83,13 @@ func (m *sessionManager) create(sess *qcluster.Session, now time.Time) string {
 	m.met.sessActive.Set(float64(len(m.sessions)))
 	m.mu.Unlock()
 	m.met.sessCreated.Inc()
-	return id
 }
 
 // get resolves an id and marks the session used (moving it to the LRU
-// front and refreshing its TTL clock).
+// front and refreshing its TTL clock). The TTL is enforced here too,
+// not only by the periodic reaper: a session already idle past the TTL
+// is expired the moment a request observes it, so an access between
+// reaper passes cannot resurrect it.
 func (m *sessionManager) get(id string, now time.Time) (*managedSession, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -96,9 +98,29 @@ func (m *sessionManager) get(id string, now time.Time) (*managedSession, bool) {
 		m.met.sessMisses.Inc()
 		return nil, false
 	}
+	if m.ttl > 0 && !ms.lastUsed.After(now.Add(-m.ttl)) {
+		m.evictLocked(ms)
+		m.met.sessExpiredTTL.Inc()
+		m.met.sessMisses.Inc()
+		return nil, false
+	}
 	ms.lastUsed = now
 	m.lru.MoveToFront(ms.elem)
 	return ms, true
+}
+
+// countByHome tallies live sessions by home shard for the sharded
+// healthz blocks; sessions without affinity (home -1) are skipped.
+func (m *sessionManager) countByHome(shards int) []int {
+	out := make([]int, shards)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ms := range m.sessions {
+		if ms.home >= 0 && ms.home < shards {
+			out[ms.home]++
+		}
+	}
+	return out
 }
 
 // remove deletes an id (explicit DELETE). It reports whether the id was

@@ -13,11 +13,19 @@ func managerFixture(t *testing.T, capacity int, ttl time.Duration) (*sessionMana
 	return newSessionManager(capacity, ttl, newServerMetrics(nil)), db
 }
 
+// insertSession mimics the handler's id-first registration for manager
+// unit tests (no routing affinity).
+func insertSession(m *sessionManager, sess Session, now time.Time) string {
+	id := newSessionID()
+	m.insert(id, sess, -1, now)
+	return id
+}
+
 func TestSessionManagerLRUEviction(t *testing.T) {
 	m, db := managerFixture(t, 3, time.Hour)
 	now := time.Unix(1000, 0)
 	newSess := func() string {
-		return m.create(db.NewSession(db.Vector(0), qcluster.Options{}), now)
+		return insertSession(m, db.NewSession(db.Vector(0), qcluster.Options{}), now)
 	}
 	a, b, c := newSess(), newSess(), newSess()
 	if m.len() != 3 {
@@ -48,8 +56,8 @@ func TestSessionManagerLRUEviction(t *testing.T) {
 func TestSessionManagerTTLExpiry(t *testing.T) {
 	m, db := managerFixture(t, 0, time.Minute)
 	now := time.Unix(1000, 0)
-	old := m.create(db.NewSession(db.Vector(0), qcluster.Options{}), now)
-	fresh := m.create(db.NewSession(db.Vector(1), qcluster.Options{}), now.Add(50*time.Second))
+	old := insertSession(m, db.NewSession(db.Vector(0), qcluster.Options{}), now)
+	fresh := insertSession(m, db.NewSession(db.Vector(1), qcluster.Options{}), now.Add(50*time.Second))
 	// At now+70s: old is 70s idle (> TTL), fresh only 20s.
 	if n := m.reapExpired(now.Add(70 * time.Second)); n != 1 {
 		t.Fatalf("reaped %d, want 1", n)
@@ -69,7 +77,7 @@ func TestSessionManagerTTLExpiry(t *testing.T) {
 	}
 	// TTL <= 0 disables expiry entirely.
 	m2, _ := managerFixture(t, 0, -1)
-	m2.create(db.NewSession(db.Vector(0), qcluster.Options{}), now)
+	insertSession(m2, db.NewSession(db.Vector(0), qcluster.Options{}), now)
 	if n := m2.reapExpired(now.Add(1e6 * time.Second)); n != 0 {
 		t.Errorf("disabled TTL reaped %d", n)
 	}
@@ -104,13 +112,13 @@ func TestSessionManagerReaperGoroutine(t *testing.T) {
 func TestSessionEvictedMidRequestIsSafe(t *testing.T) {
 	m, db := managerFixture(t, 1, time.Hour)
 	now := time.Unix(1000, 0)
-	id := m.create(db.NewSession(db.Vector(0), qcluster.Options{}), now)
+	id := insertSession(m, db.NewSession(db.Vector(0), qcluster.Options{}), now)
 	ms, ok := m.get(id, now)
 	if !ok {
 		t.Fatal("session must resolve")
 	}
-	// A second create evicts the first (capacity 1).
-	m.create(db.NewSession(db.Vector(1), qcluster.Options{}), now)
+	// A second insert evicts the first (capacity 1).
+	insertSession(m, db.NewSession(db.Vector(1), qcluster.Options{}), now)
 	if _, ok := m.get(id, now); ok {
 		t.Fatal("evicted id must not resolve")
 	}

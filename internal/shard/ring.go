@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the virtual-node count per member. 64 vnodes keep the
+// worst member within a few percent of the mean share while the ring
+// stays a few KB.
+const ringReplicas = 64
+
+// ring is a classic consistent-hash ring over shard indices: each
+// member owns ringReplicas pseudo-random points on the uint64 circle,
+// and a key routes to the owner of the first point at or after its
+// hash. Routing is deterministic across processes (FNV-1a over stable
+// strings, no map iteration), so any frontend computes the same home
+// shard for a session id — the property that lets a load balancer pin
+// a tenant's feedback session without shared state.
+type ring struct {
+	points  []uint64
+	owners  []int
+	members int
+}
+
+func newRing(members, replicas int) *ring {
+	r := &ring{members: members}
+	if members <= 1 {
+		return r
+	}
+	type pt struct {
+		h uint64
+		m int
+	}
+	pts := make([]pt, 0, members*replicas)
+	for m := 0; m < members; m++ {
+		for v := 0; v < replicas; v++ {
+			pts = append(pts, pt{h: ringHash(fmt.Sprintf("member-%d-vnode-%d", m, v)), m: m})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].m < pts[j].m // deterministic even on (vanishingly rare) hash ties
+	})
+	r.points = make([]uint64, len(pts))
+	r.owners = make([]int, len(pts))
+	for i, p := range pts {
+		r.points[i] = p.h
+		r.owners[i] = p.m
+	}
+	return r
+}
+
+// route maps a key to its home member.
+func (r *ring) route(key string) int {
+	if r.members <= 1 {
+		return 0
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.owners[i]
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	qcluster "repro"
+	"repro/internal/distance"
+	"repro/internal/index"
+)
+
+// shardSearch is one per-shard leg of a scatter-gather query: it
+// returns the shard's local top-k (local ids) computed against the
+// shared bound.
+type shardSearch func(ctx context.Context, i int, sb *index.SharedBound) ([]qcluster.Result, index.SearchStats, error)
+
+// gather fans a query out to every shard with one shared k-th-best
+// bound, remaps the per-shard results to global ids, and merges them
+// with the deterministic (Dist, ID) order.
+//
+// Why the merge is bit-identical to one unsharded search: every value
+// any shard publishes into the bound is its own current k-th best — an
+// upper bound of the union's k-th best — so a candidate pruned or
+// abandoned against the bound is certifiably outside the global top-k.
+// Each shard therefore returns a superset of its members of the global
+// top-k, distances are computed by the same kernels over the same
+// vectors, and sorting the union by (Dist, ID) reproduces the
+// unsharded result list exactly, ties included.
+//
+// Cancellation: an interrupted query merges whatever each shard had
+// found (some shards may have finished, others return partial or empty
+// sets) and reports it with an error matching both ErrPartialResults
+// and the context error.
+func (s *Set) gather(ctx context.Context, k int, run shardSearch) ([]qcluster.Result, index.SearchStats, error) {
+	n := len(s.shards)
+	sb := index.NewSharedBound()
+	type out struct {
+		res   []qcluster.Result
+		stats index.SearchStats
+		err   error
+	}
+	outs := make([]out, n)
+	start := time.Now()
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			res, stats, err := run(ctx, i, sb)
+			// Remap local ids to global under the mapping lock: any
+			// vector visible to the search had its mapping entry
+			// published before it entered the shard's tree.
+			s.mu.RLock()
+			g := s.globals[i]
+			s.mu.RUnlock()
+			for j := range res {
+				res[j].ID = g[res[j].ID]
+			}
+			outs[i] = out{res: res, stats: stats, err: err}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+
+	var stats index.SearchStats
+	var merged []qcluster.Result
+	partial := false
+	for i := range outs {
+		stats.Add(outs[i].stats)
+		merged = append(merged, outs[i].res...)
+		if err := outs[i].err; err != nil {
+			if errors.Is(err, qcluster.ErrPartialResults) {
+				partial = true
+				continue
+			}
+			s.met.searches.Inc()
+			return nil, stats, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Dist != merged[b].Dist {
+			return merged[a].Dist < merged[b].Dist
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	s.met.searches.Inc()
+	s.met.searchS.Observe(time.Since(start).Seconds())
+	if partial {
+		s.met.partials.Inc()
+		cause := ctx.Err()
+		if cause == nil {
+			// A shard reported an interrupt the gather context no longer
+			// shows (e.g. a per-shard injected cancel); keep it.
+			for i := range outs {
+				if outs[i].err != nil {
+					cause = outs[i].err
+					break
+				}
+			}
+		}
+		return merged, stats, fmt.Errorf("shard: scatter-gather interrupted after %d results: %w: %w",
+			len(merged), qcluster.ErrPartialResults, cause)
+	}
+	return merged, stats, nil
+}
+
+// SearchByExampleContext answers a plain k-NN query around an example
+// vector across all shards — the sharded equivalent of
+// Database.SearchByExampleContext, bit-identical to it over the same
+// collection. k <= 0 yields no results.
+func (s *Set) SearchByExampleContext(ctx context.Context, example []float64, k int) ([]qcluster.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("shard: search not started: %w", err)
+	}
+	if len(example) != s.dim {
+		return nil, fmt.Errorf("shard: example has dimension %d, set has %d: %w",
+			len(example), s.dim, qcluster.ErrDimensionMismatch)
+	}
+	m := qcluster.EuclideanMetric(example)
+	res, _, err := s.searchMetric(ctx, m, k)
+	return res, err
+}
+
+func (s *Set) searchMetric(ctx context.Context, m distance.Metric, k int) ([]qcluster.Result, index.SearchStats, error) {
+	return s.gather(ctx, k, func(ctx context.Context, i int, sb *index.SharedBound) ([]qcluster.Result, index.SearchStats, error) {
+		return s.shards[i].SearchMetricShared(ctx, m, k, sb)
+	})
+}

@@ -1,0 +1,81 @@
+package qcluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/linalg"
+)
+
+// This file is the root package's contract with the sharded
+// scatter-gather tier (internal/shard): per-shard search entry points
+// that run one shard-local k-NN under the shard database's read lock
+// while sharing one atomic k-th-best bound with the sibling shards.
+// Results carry shard-local ids; the shard set remaps and merges them.
+
+// Metric exposes the query model's current aggregate distance function.
+// Every shard of a scatter-gather search must evaluate the identical
+// metric, so the sharded session builds it once from the shared query
+// and hands it to every per-shard searcher. The query must be Ready —
+// a query without feedback has no metric and this panics (the sharded
+// session checks Ready first, like Search does).
+func (q *Query) Metric() distance.Metric { return q.metric() }
+
+// EuclideanMetric builds the plain example-query metric — the one
+// SearchByExample uses — for callers that drive per-shard searches
+// directly. The example is not retained.
+func EuclideanMetric(example []float64) distance.Metric {
+	return &distance.Euclidean{Center: linalg.Vector(example).Clone()}
+}
+
+// SearchMetricShared runs one shard-local k-NN under the database's
+// read lock with an externally owned shared bound (nil behaves like a
+// private bound). It is the stateless per-shard leg of a scatter-gather
+// query: results use this database's local ids and the caller merges
+// them across shards with the usual (Dist, ID) order. An interrupted
+// search returns its best-effort results with an error matching both
+// ErrPartialResults and the context error.
+func (db *Database) SearchMetricShared(ctx context.Context, m distance.Metric, k int, sb *index.SharedBound) (_ []Result, _ index.SearchStats, err error) {
+	defer barrier("SearchMetricShared", &err)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, index.SearchStats{}, wrapInterrupt(cerr, 0)
+	}
+	start := time.Now()
+	db.mu.RLock()
+	res, stats, cerr := db.tree.KNNSharedContext(ctx, m, k, sb)
+	db.mu.RUnlock()
+	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
+	return convertResults(res), stats, wrapInterrupt(cerr, len(res))
+}
+
+// ShardSearcher is the per-shard session-scoped search handle of the
+// scatter-gather tier: it owns a RefinementSearcher (the cross-iteration
+// leaf cache of the multipoint refinement approach) over one shard
+// database and runs each query under that database's read lock. Not
+// safe for concurrent use — the owning sharded session serializes its
+// searchers, exactly as Session serializes its single searcher.
+type ShardSearcher struct {
+	db *Database
+	rs *index.RefinementSearcher
+}
+
+// NewShardSearcher returns a searcher with an empty refinement cache.
+func (db *Database) NewShardSearcher() *ShardSearcher {
+	return &ShardSearcher{db: db, rs: index.NewRefinementSearcher(db.tree)}
+}
+
+// KNNShared answers one per-shard leg of a scatter-gather query,
+// seeding from (and refreshing) the shard's refinement cache. See
+// SearchMetricShared for bound sharing and error semantics.
+func (ss *ShardSearcher) KNNShared(ctx context.Context, m distance.Metric, k int, sb *index.SharedBound) (_ []Result, _ index.SearchStats, err error) {
+	defer barrier("ShardSearcher.KNNShared", &err)
+	db := ss.db
+	start := time.Now()
+	db.mu.RLock()
+	res, stats, cerr := ss.rs.KNNSharedContext(ctx, m, k, sb)
+	db.mu.RUnlock()
+	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
+	return convertResults(res), stats, wrapInterrupt(cerr, len(res))
+}
