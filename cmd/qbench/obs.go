@@ -1,13 +1,20 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
+	"runtime"
+	"sort"
 	"time"
 
 	qcluster "repro"
+	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // The obs experiment exercises the instrumentation layer end to end on a
@@ -15,7 +22,13 @@ import (
 // per-round cluster evolution reconstructed from the trace events, leaf
 // prune ratios from the session histograms, and the tracing overhead
 // measured by timing the same search with and without a sink attached.
-// It writes a machine-readable BENCH_obs.json (schema in EXPERIMENTS.md).
+//
+// v2 adds the request-tracing tier: a 4-shard server is driven over real
+// HTTP with traceparent headers at head-sampling rates {0, 0.01, 1.0}
+// to price span export end to end, and a record-everything pass reads
+// the slow-query ring back for per-stage and per-shard latency
+// attribution. It writes a machine-readable BENCH_obs.json (schema in
+// EXPERIMENTS.md).
 
 // obsRound aggregates the feedback-round trace events of one iteration
 // across all queries.
@@ -38,21 +51,69 @@ type obsOverhead struct {
 	OverheadPercent float64 `json:"overhead_percent"`
 }
 
-// obsReport is the BENCH_obs.json document.
+// obsBox describes the machine the overhead numbers came from.
+type obsBox struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// obsSampling is one sampling-rate cell of the end-to-end tracing
+// overhead sweep: the same HTTP search workload against the 4-shard
+// server, varying only the head-sampling probability. Overhead is
+// relative to the rate-0 cell (profiles still collected, nothing
+// exported — the always-on cost every request pays).
+type obsSampling struct {
+	Rate            float64 `json:"rate"`
+	Requests        int     `json:"requests"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	OverheadPercent float64 `json:"overhead_percent"`
+	EventsExported  int     `json:"events_exported"`
+	SlowKept        int     `json:"slow_kept"`
+}
+
+// obsStage is one request stage's latency attribution across every
+// profiled request of the record-everything pass.
+type obsStage struct {
+	Stage        string  `json:"stage"`
+	Requests     int     `json:"requests"`
+	MeanMs       float64 `json:"mean_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	SharePercent float64 `json:"share_percent"`
+}
+
+// obsShardLeg is one shard's scatter leg aggregated over the same pass.
+type obsShardLeg struct {
+	Shard          int     `json:"shard"`
+	Requests       int     `json:"requests"`
+	MeanMs         float64 `json:"mean_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	PruneRatioMean float64 `json:"prune_ratio_mean"`
+}
+
+// obsReport is the BENCH_obs.json document (schema v2: v1 fields plus
+// box, shard_count, sampling, stages, shards).
 type obsReport struct {
-	Schema         string      `json:"schema"`
-	N              int         `json:"n"`
-	Dim            int         `json:"dim"`
-	Queries        int         `json:"queries"`
-	Iterations     int         `json:"iterations"`
-	K              int         `json:"k"`
-	Seed           int64       `json:"seed"`
-	Rounds         []obsRound  `json:"rounds"`
-	TraceEvents    int         `json:"trace_events"`
-	PruneRatioMean float64     `json:"prune_ratio_mean"`
-	LatencyP50Ms   float64     `json:"latency_p50_ms"`
-	LatencyP95Ms   float64     `json:"latency_p95_ms"`
-	Overhead       obsOverhead `json:"overhead"`
+	Schema         string        `json:"schema"`
+	N              int           `json:"n"`
+	Dim            int           `json:"dim"`
+	Queries        int           `json:"queries"`
+	Iterations     int           `json:"iterations"`
+	K              int           `json:"k"`
+	Seed           int64         `json:"seed"`
+	Box            obsBox        `json:"box"`
+	Rounds         []obsRound    `json:"rounds"`
+	TraceEvents    int           `json:"trace_events"`
+	PruneRatioMean float64       `json:"prune_ratio_mean"`
+	LatencyP50Ms   float64       `json:"latency_p50_ms"`
+	LatencyP95Ms   float64       `json:"latency_p95_ms"`
+	Overhead       obsOverhead   `json:"overhead"`
+	ShardCount     int           `json:"shard_count"`
+	Sampling       []obsSampling `json:"sampling"`
+	Stages         []obsStage    `json:"stages"`
+	ShardLegs      []obsShardLeg `json:"shards"`
 }
 
 // obsWorld is a Gaussian-mixture collection with category labels; half
@@ -100,14 +161,21 @@ func (r *runner) obsBench() {
 	}
 
 	report := obsReport{
-		Schema:     "qcluster-bench-obs/v1",
+		Schema:     "qcluster-bench-obs/v2",
 		N:          len(vectors),
 		Dim:        dim,
 		Queries:    r.cfg.queries,
 		Iterations: r.cfg.iters,
 		K:          r.cfg.k,
 		Seed:       r.cfg.seed,
-		Rounds:     make([]obsRound, r.cfg.iters),
+		Box: obsBox{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Rounds: make([]obsRound, r.cfg.iters),
 	}
 	for i := range report.Rounds {
 		report.Rounds[i].Round = i + 1
@@ -175,6 +243,30 @@ func (r *runner) obsBench() {
 		report.Overhead.Searches, report.Overhead.NoSinkNsPerOp,
 		report.Overhead.MemSinkNsPerOp, report.Overhead.OverheadPercent)
 
+	// v2: the request-tracing tier over a sharded server.
+	report.ShardCount = 4
+	report.Sampling, report.Stages, report.ShardLegs =
+		obsServeSweep(vectors, report.ShardCount, r.cfg.k, r.cfg.seed)
+
+	fmt.Printf("\nend-to-end span export over a %d-shard server (HTTP, traceparent propagated):\n", report.ShardCount)
+	fmt.Printf("%8s %9s %12s %10s %8s %6s\n", "rate", "requests", "ns/op", "overhead", "events", "slow")
+	for _, c := range report.Sampling {
+		fmt.Printf("%8.2f %9d %12.0f %+9.1f%% %8d %6d\n",
+			c.Rate, c.Requests, c.NsPerOp, c.OverheadPercent, c.EventsExported, c.SlowKept)
+	}
+	fmt.Printf("\nper-stage attribution (record-everything pass):\n")
+	fmt.Printf("%10s %9s %10s %10s %8s\n", "stage", "requests", "mean ms", "p95 ms", "share")
+	for _, st := range report.Stages {
+		fmt.Printf("%10s %9d %10.4f %10.4f %7.1f%%\n",
+			st.Stage, st.Requests, st.MeanMs, st.P95Ms, st.SharePercent)
+	}
+	fmt.Printf("\nper-shard scatter legs:\n")
+	fmt.Printf("%6s %9s %10s %10s %12s\n", "shard", "requests", "mean ms", "p95 ms", "prune ratio")
+	for _, sl := range report.ShardLegs {
+		fmt.Printf("%6d %9d %10.4f %10.4f %12.3f\n",
+			sl.Shard, sl.Requests, sl.MeanMs, sl.P95Ms, sl.PruneRatioMean)
+	}
+
 	if r.cfg.obsOut != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -230,6 +322,187 @@ func foldRounds(rounds []obsRound, events []qcluster.TraceEvent) {
 			}
 		}
 	}
+}
+
+// obsServeSweep prices the request-tracing tier end to end: the same
+// HTTP search workload (traceparent header on every request) against a
+// sharded server at head-sampling rates {0, 0.01, 1.0}, then a
+// record-everything pass whose slow-query ring yields per-stage and
+// per-shard latency attribution.
+func obsServeSweep(vectors [][]float64, shards, k int, seed int64) ([]obsSampling, []obsStage, []obsShardLeg) {
+	set, err := shard.New(vectors, shards, qcluster.IndexOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building %d-shard set: %v\n", shards, err)
+		os.Exit(1)
+	}
+	const requests = 800
+	rng := rand.New(rand.NewSource(seed + 7))
+
+	// Overhead sweep: production-shaped options varying only the
+	// sampling rate; the hour threshold guarantees tail-keep stays out
+	// of the measurement.
+	var cells []obsSampling
+	var base float64
+	for _, rate := range []float64{0, 0.01, 1.0} {
+		sink := &qcluster.MemorySink{}
+		nsPerOp, slow := obsDriveServer(set, server.Options{
+			TraceSink:       sink,
+			TraceSampleRate: rate,
+			SlowThreshold:   time.Hour,
+		}, k, requests, rng)
+		cell := obsSampling{
+			Rate:           rate,
+			Requests:       requests,
+			NsPerOp:        nsPerOp,
+			EventsExported: len(sink.Events()),
+			SlowKept:       len(slow),
+		}
+		if rate == 0 {
+			base = nsPerOp
+		} else if base > 0 {
+			cell.OverheadPercent = 100 * (nsPerOp - base) / base
+		}
+		cells = append(cells, cell)
+	}
+
+	// Attribution pass: a negative threshold records every request in
+	// the ring (sized to hold them all); no sink, so nothing exports.
+	_, entries := obsDriveServer(set, server.Options{
+		SlowThreshold: -time.Nanosecond,
+		SlowLogSize:   requests,
+	}, k, requests, rng)
+	return cells, obsFoldStages(entries), obsFoldShardLegs(entries)
+}
+
+// obsDriveServer starts a fresh server over the set, drives it with
+// sequential traced searches, and returns the per-request wall clock
+// plus the slow-query ring contents at shutdown.
+func obsDriveServer(set *shard.Set, opt server.Options, k, requests int, rng *rand.Rand) (float64, []*qcluster.SlowEntry) {
+	s, err := server.StartSharded("127.0.0.1:0", set, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starting sharded server: %v\n", err)
+		os.Exit(1)
+	}
+	base := "http://" + s.Addr()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	do := func() {
+		blob, err := json.Marshal(map[string]any{"example_id": rng.Intn(set.Len()), "k": k})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding search: %v\n", err)
+			os.Exit(1)
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/search", bytes.NewReader(blob))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building search request: %v\n", err)
+			os.Exit(1)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// Flags 00: the upstream made no sampling decision, so the
+		// server's head-sampling rate is what's being measured (a 01
+		// flag would force export on every request).
+		req.Header.Set("Traceparent", fmt.Sprintf("00-%016x%016x-%016x-00",
+			rng.Uint64()|1, rng.Uint64(), rng.Uint64()|1))
+		resp, err := client.Do(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "search: %v\n", err)
+			os.Exit(1)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "search: unexpected status %d\n", resp.StatusCode)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		do() // warm up connections, caches and the JIT-free parts alike
+	}
+	t0 := time.Now()
+	for i := 0; i < requests; i++ {
+		do()
+	}
+	nsPerOp := float64(time.Since(t0).Nanoseconds()) / float64(requests)
+	entries := s.SlowLog().Entries()
+	client.CloseIdleConnections()
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "draining server: %v\n", err)
+		os.Exit(1)
+	}
+	return nsPerOp, entries
+}
+
+// obsFoldStages aggregates the ring's per-stage milliseconds into the
+// attribution table, ordered by the canonical stage sequence.
+func obsFoldStages(entries []*qcluster.SlowEntry) []obsStage {
+	byStage := map[string][]float64{}
+	var total float64
+	for _, e := range entries {
+		for name, ms := range e.StageMS {
+			byStage[name] = append(byStage[name], ms)
+			total += ms
+		}
+	}
+	var out []obsStage
+	for _, name := range qcluster.StageNames() {
+		xs := byStage[name]
+		if len(xs) == 0 {
+			continue
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		st := obsStage{
+			Stage:    name,
+			Requests: len(xs),
+			MeanMs:   sum / float64(len(xs)),
+			P95Ms:    obsP95(xs),
+		}
+		if total > 0 {
+			st.SharePercent = 100 * sum / total
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// obsFoldShardLegs aggregates the scatter legs by shard index.
+func obsFoldShardLegs(entries []*qcluster.SlowEntry) []obsShardLeg {
+	byShard := map[int]*obsShardLeg{}
+	durs := map[int][]float64{}
+	for _, e := range entries {
+		for _, leg := range e.Shards {
+			l := byShard[leg.Shard]
+			if l == nil {
+				l = &obsShardLeg{Shard: leg.Shard}
+				byShard[leg.Shard] = l
+			}
+			l.Requests++
+			l.MeanMs += leg.DurationMS
+			l.PruneRatioMean += leg.PruneRatio
+			durs[leg.Shard] = append(durs[leg.Shard], leg.DurationMS)
+		}
+	}
+	var out []obsShardLeg
+	for _, l := range byShard {
+		l.MeanMs /= float64(l.Requests)
+		l.PruneRatioMean /= float64(l.Requests)
+		l.P95Ms = obsP95(durs[l.Shard])
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Shard < out[b].Shard })
+	return out
+}
+
+// obsP95 returns the 95th percentile of xs (nearest rank; 0 when empty).
+func obsP95(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(0.95*float64(len(sorted)-1) + 0.5)
+	return sorted[i]
 }
 
 // measureObsOverhead times the identical refined search with tracing

@@ -36,18 +36,29 @@
 // and /healthz + /metrics carry per-shard blocks. Combined with -data,
 // each shard keeps its own WAL directory under the data root.
 //
-// The ops port (-ops) serves /debug/vars, /metrics (Prometheus text)
-// and /debug/pprof with the server and database registries merged.
+// Every request is traced: qserve honors and propagates W3C
+// traceparent headers, and -trace-sample exports span trees (admission
+// queue, session lock, per-shard search legs, merge, encode) as JSON
+// lines to -trace-log; slow requests are always kept regardless of the
+// sampling rate. The -slow-threshold / -slowlog knobs size the
+// slow-query ring served at /debug/slow on the ops port.
+//
+// The ops port (-ops) serves /debug/vars, /metrics (Prometheus text),
+// /debug/slow and /debug/pprof with the server and database registries
+// merged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -55,6 +66,7 @@ import (
 	qcluster "repro"
 	"repro/internal/dataset"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -87,6 +99,12 @@ func main() {
 		parallelism    = flag.Int("parallelism", 0, "search workers per query (0 = GOMAXPROCS)")
 		shards         = flag.Int("shards", 1, "partition the collection into N scatter-gather shards, bit-identical to unsharded (1 = unsharded)")
 
+		// Tracing and slow queries.
+		traceSample = flag.Float64("trace-sample", 0, "head-sampling probability for span export, 0..1 (slow requests are always exported once a sink exists)")
+		traceLog    = flag.String("trace-log", "", "span export destination: a JSON-lines file path, or '-' for stderr (implied stderr when -trace-sample > 0)")
+		slowThresh  = flag.Duration("slow-threshold", 0, "request latency that counts as a slow query (0 = 250ms default, negative records every request)")
+		slowLogSize = flag.Int("slowlog", 0, "slow-query ring entries served at /debug/slow (0 = 64 default, negative disables)")
+
 		// Crash testing: SIGKILL this process when a named faultinject
 		// point fires (optionally the Nth firing), so an external harness
 		// can verify warm restart at exact durability boundaries.
@@ -101,12 +119,28 @@ func main() {
 
 	indexOpt := qcluster.IndexOptions{SearchParallelism: *parallelism}
 	opt := server.Options{
-		MaxSessions:    *maxSessions,
-		SessionTTL:     *sessionTTL,
-		MaxInFlight:    *maxInFlight,
-		QueueWait:      *queueWait,
-		RequestTimeout: *requestTimeout,
-		DrainTimeout:   *drainTimeout,
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
+		MaxInFlight:     *maxInFlight,
+		QueueWait:       *queueWait,
+		RequestTimeout:  *requestTimeout,
+		DrainTimeout:    *drainTimeout,
+		TraceSampleRate: *traceSample,
+		SlowThreshold:   *slowThresh,
+		SlowLogSize:     *slowLogSize,
+	}
+	if *traceLog != "" || *traceSample > 0 {
+		var w io.Writer = os.Stderr
+		if *traceLog != "" && *traceLog != "-" {
+			f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opening trace log: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		opt.TraceSink = &traceSink{w: w}
 	}
 
 	var db *qcluster.Database
@@ -224,6 +258,31 @@ func main() {
 		}
 	}
 	fmt.Printf("drained in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// traceSink writes each span event as one self-contained JSON object
+// per line — greppable by trace_id, tail-able, no collector required.
+type traceSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Emit implements obs.Sink.
+func (s *traceSink) Emit(e obs.Event) {
+	m := make(map[string]any, 3+len(e.Fields))
+	m["ts"] = e.Time.Format(time.RFC3339Nano)
+	m["span"] = e.Span
+	m["event"] = e.Name
+	for _, f := range e.Fields {
+		m[f.Key] = f.Value
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.w.Write(append(blob, '\n'))
 }
 
 // armCrash installs a faultinject hook that SIGKILLs the process on the

@@ -221,7 +221,9 @@ func (db *Database) SearchByExampleContext(ctx context.Context, example []float6
 	db.mu.RLock()
 	res, stats, cerr := db.tree.KNNContext(ctx, m, k)
 	db.mu.RUnlock()
-	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
+	elapsed := time.Since(start)
+	db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
+	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
 	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
@@ -269,7 +271,9 @@ func (db *Database) SearchContext(ctx context.Context, q *Query, k int) (_ []Res
 	db.mu.RLock()
 	res, stats, cerr := db.tree.KNNContext(ctx, m, k)
 	db.mu.RUnlock()
-	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
+	elapsed := time.Since(start)
+	db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
+	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
 	return convertResults(res), wrapInterrupt(cerr, len(res))
 }
 
@@ -360,6 +364,7 @@ func (s *Session) results(ctx context.Context, k int) ([]Result, error) {
 	elapsed := time.Since(start)
 	s.met.observeSearch(elapsed, stats, cerr != nil)
 	s.db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
+	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
 	if s.sink != nil {
 		obs.EmitEvent(s.sink, "search.done",
 			obs.F("k", k), obs.F("results", len(res)),

@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; its instrumentation allocates, so alloc-count assertions are
+// skipped under -race.
+const raceEnabled = false

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter. The zero value
@@ -203,6 +204,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	windows    map[string]*Window
 }
 
 // NewRegistry returns an empty registry.
@@ -211,6 +213,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		windows:    map[string]*Window{},
 	}
 }
 
@@ -252,6 +255,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Window returns the named rolling windowed histogram, creating it
+// with the given bounds and span on first use. Later calls return the
+// existing window regardless of the arguments. Windows snapshot into
+// Snapshot.Histograms alongside cumulative histograms (the name should
+// make the windowed semantics obvious, e.g. "cost.window.prune_ratio"),
+// so they export through /metrics and /debug/vars with no extra
+// plumbing.
+func (r *Registry) Window(name string, bounds []float64, span time.Duration) *Window {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = NewWindow(bounds, span)
+		r.windows[name] = w
+	}
+	return w
+}
+
 // Snapshot copies every metric's current value. Safe to call while
 // writers are active (see Histogram.Snapshot for the consistency
 // contract).
@@ -272,6 +293,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
 	}
+	for name, w := range r.windows {
+		s.Histograms[name] = w.Snapshot()
+	}
 	return s
 }
 
@@ -282,10 +306,23 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Merge folds other's metrics into s. Names colliding across snapshots
-// are overwritten by other — registries served together are expected to
-// use disjoint name prefixes.
+// Merge folds other's metrics into s. The merge is by name with
+// last-wins semantics: a name present in both snapshots — including
+// histograms whose bucket bounds differ — is replaced wholesale by
+// other's value, never summed or bucket-aligned. Registries served
+// together are therefore expected to use disjoint name prefixes.
+// Merging into a zero-value Snapshot (nil maps) is valid and allocates
+// the maps first.
 func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64, len(other.Counters))
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64, len(other.Gauges))
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot, len(other.Histograms))
+	}
 	for name, v := range other.Counters {
 		s.Counters[name] = v
 	}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock injects a controllable time source into a Window.
+type testClock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+func (c *testClock) nanos() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d.Nanoseconds()
+	c.mu.Unlock()
+}
+
+func newTestWindow(bounds []float64, span time.Duration) (*Window, *testClock) {
+	w := NewWindow(bounds, span)
+	c := &testClock{now: span.Nanoseconds() * 10} // away from epoch 0
+	w.nowNanos = c.nanos
+	return w, c
+}
+
+func TestWindowObserveAndSnapshot(t *testing.T) {
+	w, _ := newTestWindow([]float64{1, 2, 4}, 8*time.Second)
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		w.Observe(v)
+	}
+	s := w.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.Sum != 105 {
+		t.Fatalf("Sum = %v, want 105", s.Sum)
+	}
+	want := []int64{1, 1, 1, 1} // one per bucket incl. overflow
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if m := w.Mean(); m != 105.0/4 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	// 8-second span = 1-second slots.
+	w, clk := newTestWindow(nil, 8*time.Second)
+	w.Observe(1)
+	w.Observe(1)
+	if got := w.Snapshot().Count; got != 2 {
+		t.Fatalf("fresh observations: Count = %d, want 2", got)
+	}
+
+	// Half a window later both observations still show.
+	clk.advance(4 * time.Second)
+	w.Observe(1)
+	if got := w.Snapshot().Count; got != 3 {
+		t.Fatalf("mid-window: Count = %d, want 3", got)
+	}
+
+	// Past the full span the first burst has aged out but the recent
+	// observation survives.
+	clk.advance(6 * time.Second)
+	if got := w.Snapshot().Count; got != 1 {
+		t.Fatalf("after expiry: Count = %d, want 1", got)
+	}
+
+	// Far future: empty, and Mean/Quantile degrade to 0.
+	clk.advance(time.Hour)
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("stale window: Count = %d, want 0", got)
+	}
+	if w.Mean() != 0 || w.Quantile(0.95) != 0 {
+		t.Fatalf("empty window: Mean=%v Quantile=%v, want 0,0", w.Mean(), w.Quantile(0.95))
+	}
+}
+
+func TestWindowSlotRecycling(t *testing.T) {
+	// Walking time forward must recycle old slots rather than grow
+	// memory or double-count: after k full spans only the trailing
+	// window contributes.
+	w, clk := newTestWindow(nil, 8*time.Second)
+	for i := 0; i < 50; i++ {
+		w.Observe(float64(i))
+		clk.advance(time.Second)
+	}
+	// Snapshot covers the last windowSlots+1 = 9 epochs; the final
+	// advance left the in-progress epoch empty and the oldest slot was
+	// recycled by a newer epoch, so 8 one-observation slots remain.
+	if got := w.Snapshot().Count; got != 8 {
+		t.Fatalf("after long walk: Count = %d, want 8", got)
+	}
+}
+
+func TestWindowQuantile(t *testing.T) {
+	w, _ := newTestWindow([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 8*time.Second)
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i % 10))
+	}
+	p95 := w.Quantile(0.95)
+	if p95 < 8 || p95 > 10 {
+		t.Fatalf("Quantile(0.95) = %v, want within [8, 10]", p95)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	// Hammer Observe/Snapshot from many goroutines across slot
+	// boundaries; the race detector is the real assertion here.
+	w, clk := newTestWindow([]float64{0.5}, 2*time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				w.Observe(float64(i&1) * 0.75)
+				if i%64 == 0 {
+					_ = w.Snapshot()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		clk.advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	if got := w.Snapshot().Count; got < 0 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestRegistryWindowSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	w := reg.Window("cost.window.test", []float64{1}, time.Minute)
+	if again := reg.Window("cost.window.test", nil, time.Hour); again != w {
+		t.Fatal("Window: second lookup returned a different window")
+	}
+	w.Observe(0.5)
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["cost.window.test"]
+	if !ok {
+		t.Fatal("window missing from registry snapshot histograms")
+	}
+	if h.Count != 1 || h.Sum != 0.5 {
+		t.Fatalf("window snapshot = count %d sum %v, want 1, 0.5", h.Count, h.Sum)
+	}
+}

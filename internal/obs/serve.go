@@ -36,6 +36,13 @@ type DebugServer struct {
 // metrics next to the database's); metric names must not collide across
 // registries — on collision the later registry wins.
 func ServeDebug(addr string, reg *Registry, more ...*Registry) (*DebugServer, error) {
+	return ServeDebugWith(addr, nil, reg, more...)
+}
+
+// ServeDebugWith is ServeDebug with extra handlers mounted on the debug
+// mux — the serving tier mounts its slow-query log at "/debug/slow".
+// Extra patterns must not collide with the built-in ones.
+func ServeDebugWith(addr string, extra map[string]http.Handler, reg *Registry, more ...*Registry) (*DebugServer, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("obs: nil registry")
 	}
@@ -79,6 +86,11 @@ func ServeDebug(addr string, reg *Registry, more ...*Registry) (*DebugServer, er
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range extra {
+		if h != nil {
+			mux.Handle(pattern, h)
+		}
+	}
 
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {

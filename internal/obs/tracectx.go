@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// This file is the W3C Trace Context slice of the observability layer:
+// trace/span identifiers, the `traceparent` header format that carries
+// them across process boundaries, and the SpanContext triple the
+// request tracer threads from HTTP ingress down to the per-shard
+// searches. Everything here is allocation-free except the String/
+// Traceparent renderers, which only run on the sampled/slow export
+// path.
+
+// TraceID is a 128-bit trace identifier (W3C trace-id). The zero value
+// is invalid per the spec.
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier (W3C parent-id). The zero value is
+// invalid per the spec.
+type SpanID [8]byte
+
+// IsValid reports whether the id is non-zero.
+func (t TraceID) IsValid() bool { return t != TraceID{} }
+
+// IsValid reports whether the id is non-zero.
+func (s SpanID) IsValid() bool { return s != SpanID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a random non-zero trace id. The generator is
+// math/rand/v2's per-thread ChaCha8 stream — ids need uniqueness, not
+// secrecy — so generation takes no lock and performs no allocation.
+func NewTraceID() TraceID {
+	var t TraceID
+	for !t.IsValid() {
+		putUint64(t[0:8], rand.Uint64())
+		putUint64(t[8:16], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID returns a random non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for !s.IsValid() {
+		putUint64(s[0:8], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+// SpanContext identifies one span inside one trace, plus the W3C
+// sampled flag — the unit the serving tier propagates and the tracer
+// parents children under.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the W3C trace-flags sampled bit: the upstream caller
+	// recorded (or wants recorded) this trace.
+	Sampled bool
+}
+
+// IsValid reports whether both ids are non-zero.
+func (sc SpanContext) IsValid() bool { return sc.TraceID.IsValid() && sc.SpanID.IsValid() }
+
+// Traceparent renders the context as a W3C traceparent header value:
+// version 00, 32-hex trace-id, 16-hex parent-id, 2-hex flags.
+func (sc SpanContext) Traceparent() string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, sc.TraceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, sc.SpanID[:])
+	if sc.Sampled {
+		buf = append(buf, "-01"...)
+	} else {
+		buf = append(buf, "-00"...)
+	}
+	return string(buf)
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). It accepts future versions (any
+// two-hex-digit version except "ff") per the spec's forward-compat
+// rule, requires lowercase hex, and rejects all-zero ids. ok is false
+// for anything malformed — the caller then starts a fresh root trace.
+func ParseTraceparent(h string) (sc SpanContext, ok bool) {
+	// Fixed layout: 2+1+32+1+16+1+2 = 55 bytes; a future version may
+	// append "-..." suffixes, which we ignore.
+	if len(h) < 55 {
+		return SpanContext{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return SpanContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, ok := hexByte(h[0], h[1])
+	if !ok || ver == 0xff {
+		return SpanContext{}, false
+	}
+	if ver == 0 && len(h) != 55 {
+		return SpanContext{}, false
+	}
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(h[3+2*i], h[4+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.TraceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(h[36+2*i], h[37+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.SpanID[i] = b
+	}
+	flags, ok := hexByte(h[53], h[54])
+	if !ok {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags&0x01 != 0
+	if !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// hexByte decodes two lowercase hex digits (the spec forbids uppercase
+// in traceparent).
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: i%2 == 0}
+		h := sc.Traceparent()
+		if len(h) != 55 {
+			t.Fatalf("Traceparent() = %q, want 55 bytes", h)
+		}
+		got, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) rejected a rendered header", h)
+		}
+		if got != sc {
+			t.Fatalf("round trip: got %+v, want %+v", got, sc)
+		}
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) = !ok", h)
+	}
+	if got := sc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("TraceID = %s", got)
+	}
+	if got := sc.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("SpanID = %s", got)
+	}
+	if !sc.Sampled {
+		t.Error("Sampled = false, want true (flags 01)")
+	}
+
+	// Flags 00: valid, unsampled.
+	sc, ok = ParseTraceparent(h[:53] + "00")
+	if !ok || sc.Sampled {
+		t.Errorf("flags 00: ok=%v sampled=%v, want ok, unsampled", ok, sc.Sampled)
+	}
+
+	// A future version may append -suffixes after the fixed prefix.
+	sc, ok = ParseTraceparent("42" + h[2:] + "-extrafutilefields")
+	if !ok || !sc.Sampled {
+		t.Errorf("future version with suffix: ok=%v sampled=%v, want ok+sampled", ok, sc.Sampled)
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	const valid = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := map[string]string{
+		"empty":              "",
+		"truncated":          valid[:54],
+		"version ff":         "ff" + valid[2:],
+		"uppercase hex":      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"bad dash":           valid[:2] + "_" + valid[3:],
+		"zero trace id":      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":       "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"non-hex version":    "zz" + valid[2:],
+		"version 00 + extra": valid + "-suffix",
+		"garbage suffix":     valid + "x",
+	}
+	for name, h := range cases {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want reject", name, h)
+		}
+	}
+}
+
+func TestNewIDsNonZeroAndDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if !id.IsValid() {
+			t.Fatal("NewTraceID returned the zero id")
+		}
+		s := id.String()
+		if seen[s] {
+			t.Fatalf("duplicate trace id %s", s)
+		}
+		seen[s] = true
+		if !NewSpanID().IsValid() {
+			t.Fatal("NewSpanID returned the zero id")
+		}
+	}
+	for s := range seen {
+		if strings.ToLower(s) != s {
+			t.Fatalf("trace id %s is not lowercase hex", s)
+		}
+	}
+}

@@ -19,6 +19,12 @@ var errShed = errors.New("server: overloaded, request shed")
 type admission struct {
 	slots chan struct{}
 	wait  time.Duration // <= 0: shed immediately when saturated
+	// costOf, when non-nil, returns the backend's current per-query cost
+	// estimate in seconds — a read-only signal from the rolling cost
+	// windows. Today it is surfaced (healthz, tests); ROADMAP item 5's
+	// cost-based admission will price requests with it instead of the
+	// implicit "every request costs 1 slot".
+	costOf func() float64
 }
 
 func newAdmission(maxInFlight int, wait time.Duration) *admission {
@@ -58,3 +64,12 @@ func (a *admission) inFlight() int { return len(a.slots) }
 
 // capacity returns the in-flight bound.
 func (a *admission) capacity() int { return cap(a.slots) }
+
+// costEstimate returns the read-only per-query cost estimate in seconds
+// (0 without a hook or recent signal).
+func (a *admission) costEstimate() float64 {
+	if a.costOf == nil {
+		return 0
+	}
+	return a.costOf()
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	qcluster "repro"
+	"repro/internal/obs"
 )
 
 // statusClientClosedRequest is the nginx convention for "the client
@@ -34,6 +35,13 @@ type healthzResponse struct {
 	Sessions    int    `json:"sessions"`
 	InFlight    int    `json:"in_flight"`
 	MaxInFlight int    `json:"max_in_flight,omitempty"`
+	// Info identifies the serving box and binary — so bench artifacts
+	// can record where numbers came from without manual caveats.
+	Info *healthzInfo `json:"info,omitempty"`
+	// CostEstimateSeconds is admission control's read-only per-query
+	// cost estimate: the backend's windowed mean search wall-clock (0
+	// when the window is empty).
+	CostEstimateSeconds float64 `json:"cost_estimate_seconds,omitempty"`
 	// Durability is present when the ingestor is a durable database:
 	// WAL footprint, boot-recovery stats, and the read-only degraded
 	// flag (which also flips Status to "degraded").
@@ -41,6 +49,15 @@ type healthzResponse struct {
 	// Shards is present on a sharded backend: one block per shard with
 	// its item count, durability state, and home-pinned session count.
 	Shards []shardHealthBlock `json:"shards,omitempty"`
+}
+
+// healthzInfo is the box/binary identity block of /healthz.
+type healthzInfo struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Commit        string  `json:"vcs_commit,omitempty"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Shards        int     `json:"shards"`
 }
 
 // addVectorsRequest appends vectors. Exactly one of vector (single) or
@@ -142,7 +159,7 @@ func (s *Server) handleAddVectors(w http.ResponseWriter, r *http.Request) int {
 		return failErr(w, err)
 	}
 	s.met.ingested.Add(int64(len(ids)))
-	writeJSON(w, http.StatusOK, addVectorsResponse{IDs: ids})
+	writeJSONProfiled(r.Context(), w, http.StatusOK, addVectorsResponse{IDs: ids})
 	return http.StatusOK
 }
 
@@ -162,7 +179,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) int {
 		}
 	}
 	s.met.searches.Inc()
-	res, err := s.be.SearchByExampleContext(r.Context(), example, s.clampK(req.K))
+	k := s.clampK(req.K)
+	if p := obs.ProfileFromContext(r.Context()); p != nil {
+		p.K = k
+	}
+	res, err := s.be.SearchByExampleContext(r.Context(), example, k)
 	if err != nil && !errors.Is(err, qcluster.ErrPartialResults) {
 		return failErr(w, err)
 	}
@@ -170,7 +191,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		status = http.StatusPartialContent
 	}
-	writeJSON(w, status, searchResponse{Results: convert(res), Partial: err != nil})
+	writeJSONProfiled(r.Context(), w, status, searchResponse{Results: convert(res), Partial: err != nil})
 	return status
 }
 
@@ -213,11 +234,22 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) int
 	if req.MaxQueryPoints != 0 {
 		opt.MaxQueryPoints = req.MaxQueryPoints
 	}
+	// Install the trace relay as the session's sink when anything could
+	// consume its feedback spans: a user-provided sink always receives
+	// them, and while a sampled request holds the session its classify/
+	// cluster spans additionally become children of the request trace.
+	// Skipped entirely when neither exists, so the query model keeps its
+	// sink-nil zero-cost path.
+	var relay *relaySink
+	if s.trc.Exports() || opt.Sink != nil {
+		relay = &relaySink{base: opt.Sink}
+		opt.Sink = relay
+	}
 	// The id is generated before the session: on a sharded backend it is
 	// the consistent-hash routing key that picks the session's home.
 	id := newSessionID()
 	sess, home := s.be.NewSessionRouted(example, opt, id)
-	s.mgr.insert(id, sess, home, timeNow())
+	s.mgr.insert(id, sess, home, relay, timeNow())
 	resp := createSessionResponse{
 		SessionID:  id,
 		TTLSeconds: s.opt.SessionTTL.Seconds(),
@@ -243,7 +275,10 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) int {
 		k = s.clampK(n)
 	}
 	s.met.searches.Inc()
-	ms.mu.Lock()
+	if p := obs.ProfileFromContext(r.Context()); p != nil {
+		p.K = k
+	}
+	s.lockSession(r.Context(), ms)
 	res, err := ms.sess.ResultsContext(r.Context(), k)
 	q := ms.sess.Query()
 	resp := resultsResponse{
@@ -253,7 +288,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) int {
 		QueryPoints: q.NumQueryPoints(),
 		Degraded:    ms.sess.Health().Degraded(),
 	}
-	ms.mu.Unlock()
+	s.unlockSession(ms)
 	if err != nil && !errors.Is(err, qcluster.ErrPartialResults) {
 		return failErr(w, err)
 	}
@@ -262,7 +297,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) int {
 		status = http.StatusPartialContent
 		resp.Partial = true
 	}
-	writeJSON(w, status, resp)
+	writeJSONProfiled(r.Context(), w, status, resp)
 	return status
 }
 
@@ -289,23 +324,27 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) int {
 		}
 		points = append(points, qcluster.Point{ID: p.ID, Vec: vec, Score: p.Score})
 	}
-	ms.mu.Lock()
+	s.lockSession(r.Context(), ms)
 	before := ms.sess.Query().Rounds()
+	fbStart := time.Now()
 	err := ms.sess.MarkRelevant(points)
+	if p := obs.ProfileFromContext(r.Context()); p != nil {
+		p.StageAt(obs.StageFeedback, fbStart, time.Since(fbStart))
+	}
 	q := ms.sess.Query()
 	resp := feedbackResponse{
 		Absorbed:    q.Rounds() > before,
 		Rounds:      q.Rounds(),
 		QueryPoints: q.NumQueryPoints(),
 	}
-	ms.mu.Unlock()
+	s.unlockSession(ms)
 	if err != nil {
 		return failErr(w, err)
 	}
 	if resp.Absorbed {
 		s.met.feedbackRounds.Inc()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONProfiled(r.Context(), w, http.StatusOK, resp)
 	return http.StatusOK
 }
 
@@ -321,6 +360,44 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) int
 
 // timeNow is the manager clock (overridable in tests).
 var timeNow = func() time.Time { return time.Now() }
+
+// lockSession takes ms's per-session mutex, charging the wait to the
+// request's lock stage, and — while the request's trace is being
+// exported — routes the session's feedback classify/cluster spans into
+// the request trace until unlockSession.
+func (s *Server) lockSession(ctx context.Context, ms *managedSession) {
+	start := time.Now()
+	ms.mu.Lock()
+	p := obs.ProfileFromContext(ctx)
+	p.StageAt(obs.StageLock, start, time.Since(start))
+	if ms.relay != nil {
+		if cs := s.trc.SpanSink(p); cs != nil {
+			ms.relay.activate(cs)
+		}
+	}
+}
+
+// unlockSession releases the per-session mutex and detaches the request
+// trace from the session's span relay.
+func (s *Server) unlockSession(ms *managedSession) {
+	if ms.relay != nil {
+		ms.relay.deactivate()
+	}
+	ms.mu.Unlock()
+}
+
+// writeJSONProfiled is writeJSON with the encode+write wall-clock
+// charged to the request profile's encode stage.
+func writeJSONProfiled(ctx context.Context, w http.ResponseWriter, status int, v any) {
+	p := obs.ProfileFromContext(ctx)
+	if p == nil {
+		writeJSON(w, status, v)
+		return
+	}
+	start := time.Now()
+	writeJSON(w, status, v)
+	p.StageAt(obs.StageEncode, start, time.Since(start))
+}
 
 // decodeBody parses a bounded JSON request body into v, returning a
 // non-zero status (already written) on failure.

@@ -37,6 +37,9 @@ type Backend interface {
 	AddBatchContext(ctx context.Context, vectors [][]float64) ([]int, error)
 	Metrics() obs.Snapshot
 	Registry() *obs.Registry
+	// CostSignals exposes the backend's rolling windowed cost
+	// estimators — admission control's read-only per-query cost hook.
+	CostSignals() qcluster.CostSignals
 }
 
 // dbBackend adapts a single qcluster.Database.

@@ -3,6 +3,7 @@ package server
 import (
 	"time"
 
+	qcluster "repro"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,7 @@ type serverMetrics struct {
 	sessExpiredTTL *obs.Counter // reaper TTL evictions
 	sessMisses     *obs.Counter // requests naming an unknown/evicted session
 	feedbackRounds *obs.Counter // feedback requests that absorbed points
+	queueWaitW     *obs.Window  // rolling queue-wait window (Retry-After p95)
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -62,6 +64,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		sessExpiredTTL: reg.Counter("sessions.expired_ttl"),
 		sessMisses:     reg.Counter("sessions.misses"),
 		feedbackRounds: reg.Counter("sessions.feedback_rounds"),
+		queueWaitW:     reg.Window("server.window.queue_wait_seconds", obs.LatencyBuckets(), qcluster.CostWindowSpan),
 	}
 }
 

@@ -65,7 +65,7 @@ func TestPanicRecoveryAfterResponseStarted(t *testing.T) {
 	s := New(db, Options{})
 	defer s.Close()
 
-	late := s.wrap(func(w http.ResponseWriter, _ *http.Request) int {
+	late := s.wrap("test", func(w http.ResponseWriter, _ *http.Request) int {
 		writeJSON(w, http.StatusOK, searchResponse{})
 		panic("after commit")
 	})
@@ -78,7 +78,7 @@ func TestPanicRecoveryAfterResponseStarted(t *testing.T) {
 		t.Fatalf("error body appended to committed response: %q", body)
 	}
 
-	early := s.wrap(func(http.ResponseWriter, *http.Request) int {
+	early := s.wrap("test", func(http.ResponseWriter, *http.Request) int {
 		panic("before any write")
 	})
 	rec = httptest.NewRecorder()

@@ -26,9 +26,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +86,23 @@ type Options struct {
 	// the database's in-memory AddBatchContext (writes do not survive a
 	// restart).
 	Ingestor Ingestor
+	// TraceSink receives exported request span trees (W3C traceparent
+	// in, root span + stage/shard children out). Nil disables span
+	// export; cost profiles, the slow log and the rolling estimators
+	// still run.
+	TraceSink obs.Sink
+	// TraceSampleRate is the head-based span export probability in
+	// [0, 1] for requests arriving without a sampled traceparent (an
+	// incoming sampled flag forces export). Slow requests export
+	// regardless (tail-based keep). Default 0.
+	TraceSampleRate float64
+	// SlowThreshold is the slow-request cutoff for the tail-based keep
+	// policy and the slow-query log. 0 uses obs.DefaultSlowThreshold
+	// (250ms); negative records every request (bench/test mode).
+	SlowThreshold time.Duration
+	// SlowLogSize is the slow-query ring capacity served at /debug/slow
+	// on the ops endpoint. Default 64; negative disables the log.
+	SlowLogSize int
 }
 
 // Ingestor is the server's write path: it appends a validated batch and
@@ -147,6 +168,7 @@ type Server struct {
 	mgr *sessionManager
 	adm *admission
 	met *serverMetrics
+	trc *obs.Tracer
 	mux *http.ServeMux
 
 	draining atomic.Bool
@@ -183,26 +205,44 @@ func NewSharded(set *shard.Set, opt Options) *Server {
 func newServer(be Backend, opt Options) *Server {
 	opt = opt.withDefaults()
 	met := newServerMetrics(opt.Registry)
+	var slowLog *obs.SlowLog
+	if opt.SlowLogSize >= 0 {
+		size := opt.SlowLogSize
+		if size == 0 {
+			size = 64
+		}
+		slowLog = obs.NewSlowLog(size)
+	}
 	s := &Server{
-		be:       be,
-		opt:      opt,
-		met:      met,
-		mgr:      newSessionManager(opt.MaxSessions, opt.SessionTTL, met),
-		adm:      newAdmission(opt.MaxInFlight, opt.QueueWait),
+		be:  be,
+		opt: opt,
+		met: met,
+		mgr: newSessionManager(opt.MaxSessions, opt.SessionTTL, met),
+		adm: newAdmission(opt.MaxInFlight, opt.QueueWait),
+		trc: obs.NewTracer(obs.TracerOptions{
+			Sink:          opt.TraceSink,
+			SampleRate:    opt.TraceSampleRate,
+			SlowThreshold: opt.SlowThreshold,
+			SlowLog:       slowLog,
+		}),
 		reapStop: make(chan struct{}),
 		reapDone: make(chan struct{}),
 	}
+	// Read-only cost hook: admission control can price a request with
+	// the backend's recent per-query cost estimate (ROADMAP item 5 will
+	// act on it; today it is exported via /healthz).
+	s.adm.costOf = func() float64 { return be.CostSignals().EstimatedSeconds() }
 	if s.opt.Ingestor == nil {
 		s.opt.Ingestor = be
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /v1/vectors", s.wrap(s.handleAddVectors))
-	mux.HandleFunc("POST /v1/search", s.wrap(s.handleSearch))
-	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
-	mux.HandleFunc("GET /v1/sessions/{id}/results", s.wrap(s.handleResults))
-	mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.wrap(s.handleFeedback))
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleDeleteSession))
+	mux.HandleFunc("POST /v1/vectors", s.wrap("vectors.add", s.handleAddVectors))
+	mux.HandleFunc("POST /v1/search", s.wrap("search", s.handleSearch))
+	mux.HandleFunc("POST /v1/sessions", s.wrap("session.create", s.handleCreateSession))
+	mux.HandleFunc("GET /v1/sessions/{id}/results", s.wrap("session.results", s.handleResults))
+	mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.wrap("session.feedback", s.handleFeedback))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap("session.delete", s.handleDeleteSession))
 	s.mux = mux
 	go s.reapLoop()
 	return s
@@ -263,12 +303,25 @@ func (s *Server) Metrics() obs.Snapshot {
 }
 
 // ServeOps mounts the debug/ops endpoints (expvar JSON, Prometheus
-// text, pprof) for the merged server + database registries on their own
-// listener, typically a non-public ops port. The caller owns the
-// returned server and must Close it.
+// text, pprof, and the slow-query log at /debug/slow) for the merged
+// server + database registries on their own listener, typically a
+// non-public ops port. The caller owns the returned server and must
+// Close it.
 func (s *Server) ServeOps(addr string) (*obs.DebugServer, error) {
-	return obs.ServeDebug(addr, s.met.reg, s.be.Registry())
+	var extra map[string]http.Handler
+	if sl := s.trc.SlowLog(); sl != nil {
+		extra = map[string]http.Handler{"/debug/slow": sl}
+	}
+	return obs.ServeDebugWith(addr, extra, s.met.reg, s.be.Registry())
 }
+
+// SlowLog returns the server's slow-query ring (nil when disabled via
+// a negative Options.SlowLogSize) — the same data /debug/slow serves.
+func (s *Server) SlowLog() *obs.SlowLog { return s.trc.SlowLog() }
+
+// CostEstimate returns admission control's read-only per-query cost
+// estimate: the backend's windowed mean search seconds (0 when idle).
+func (s *Server) CostEstimate() float64 { return s.adm.costEstimate() }
 
 // Draining reports whether Close has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -311,10 +364,13 @@ func (s *Server) reapLoop() {
 	}
 }
 
-// wrap is the common /v1 request pipeline: drain rejection, admission
-// control with queue-wait shedding, the per-request deadline, latency
-// metrics and a panic barrier.
-func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) (status int)) http.HandlerFunc {
+// wrap is the common /v1 request pipeline: drain rejection, request
+// tracing (W3C traceparent in, root span + cost profile always),
+// admission control with queue-wait shedding, the per-request deadline,
+// latency metrics and a panic barrier. route is the span/profile label
+// — passed explicitly because the profile outlives the request and must
+// not retain mux internals.
+func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) (status int)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			s.met.drainRejects.Inc()
@@ -322,17 +378,31 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) (status int)) h
 			return
 		}
 		start := time.Now()
+		// "Traceparent" (canonical form) avoids the header-key
+		// canonicalization alloc on the always-on path.
+		prof := s.trc.Start(route, r.Header.Get("Traceparent"), start)
 		queued, err := s.adm.acquire(r.Context())
+		queueWait := time.Since(start)
+		prof.StageAt(obs.StageQueue, start, queueWait)
 		if queued {
-			s.met.queueWait.Observe(time.Since(start).Seconds())
+			s.met.queueWait.Observe(queueWait.Seconds())
+			s.met.queueWaitW.Observe(queueWait.Seconds())
 		}
 		if err != nil {
+			status := statusClientClosedRequest
 			if errors.Is(err, errShed) {
 				s.met.shed.Inc()
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+				// Backpressure reflects observed saturation: the windowed
+				// queue-wait p95 rounded up, clamped to [1s, 30s].
+				w.Header().Set("Retry-After", s.retryAfter())
+				status = http.StatusTooManyRequests
+				writeError(w, status, "server overloaded, retry later")
 			} else { // client gave up while queued
-				writeError(w, statusClientClosedRequest, "client closed request")
+				writeError(w, status, "client closed request")
+			}
+			if prof != nil {
+				prof.Status = status
+				s.trc.Finish(prof, time.Now())
 			}
 			return
 		}
@@ -354,31 +424,62 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) (status int)) h
 			ctx, cancel = context.WithTimeout(ctx, s.opt.RequestTimeout)
 			defer cancel()
 		}
+		if prof != nil {
+			ctx = obs.ContextWithProfile(ctx, prof)
+			if r.ContentLength > 0 {
+				prof.BytesIn = r.ContentLength
+			}
+			if prof.Ctx.Sampled {
+				// Inject the root span context so the caller can correlate
+				// its records with the exported trace. Sampled-only: the
+				// header render allocates.
+				w.Header().Set("Traceparent", prof.Ctx.Traceparent())
+			}
+		}
 
 		sr := &statusRecorder{ResponseWriter: w}
 		status := http.StatusInternalServerError
 		defer func() {
-			if v := recover(); v != nil {
-				s.met.observeRequest(time.Since(start), status)
-				// Only synthesize a 500 when the handler never started the
-				// response; stacking a second status line and error body
-				// onto committed bytes corrupts the reply mid-stream.
-				if !sr.wrote {
-					writeError(sr, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
-				}
-				return
-			}
+			v := recover()
 			s.met.observeRequest(time.Since(start), status)
+			// Only synthesize a 500 when the handler never started the
+			// response; stacking a second status line and error body
+			// onto committed bytes corrupts the reply mid-stream.
+			if v != nil && !sr.wrote {
+				writeError(sr, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+			if prof != nil {
+				prof.Status = status
+				prof.BytesOut = sr.bytes
+				s.trc.Finish(prof, time.Now())
+			}
 		}()
 		status = h(sr, r.WithContext(ctx))
 	}
 }
 
+// retryAfter derives the 429 Retry-After value from the observed
+// admission queue-wait p95 over the trailing window, rounded up and
+// clamped to [1s, 30s] — so backpressure tracks real saturation instead
+// of a constant.
+func (s *Server) retryAfter() string {
+	secs := int(math.Ceil(s.met.queueWaitW.Quantile(0.95)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
 // statusRecorder tracks whether the wrapped handler has begun writing
-// the response, so the panic barrier knows if a 500 can still be sent.
+// the response (so the panic barrier knows if a 500 can still be sent)
+// and counts response bytes for the request's cost profile.
 type statusRecorder struct {
 	http.ResponseWriter
 	wrote bool
+	bytes int64
 }
 
 func (sr *statusRecorder) WriteHeader(status int) {
@@ -388,20 +489,63 @@ func (sr *statusRecorder) WriteHeader(status int) {
 
 func (sr *statusRecorder) Write(b []byte) (int, error) {
 	sr.wrote = true
-	return sr.ResponseWriter.Write(b)
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
 }
+
+// processStart anchors the healthz uptime report.
+var processStart = time.Now()
+
+// buildInfo resolves the binary's identity once: Go version and the VCS
+// commit (with a "+dirty" suffix when built from a modified tree) via
+// the embedded build info. Empty commit for non-VCS builds (go test,
+// GOFLAGS=-buildvcs=false).
+var buildInfo = sync.OnceValue(func() (info struct{ goVersion, commit string }) {
+	info.goVersion = runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.GoVersion != "" {
+		info.goVersion = bi.GoVersion
+	}
+	dirty := false
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			info.commit = kv.Value
+		case "vcs.modified":
+			dirty = kv.Value == "true"
+		}
+	}
+	if dirty && info.commit != "" {
+		info.commit += "+dirty"
+	}
+	return info
+})
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "draining"})
 		return
 	}
+	bi := buildInfo()
+	info := &healthzInfo{
+		UptimeSeconds: time.Since(processStart).Seconds(),
+		GoVersion:     bi.goVersion,
+		Commit:        bi.commit,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Shards:        1,
+	}
 	resp := healthzResponse{
-		Status:      "ok",
-		Items:       s.be.Len(),
-		Sessions:    s.mgr.len(),
-		InFlight:    s.adm.inFlight(),
-		MaxInFlight: s.adm.capacity(),
+		Status:              "ok",
+		Items:               s.be.Len(),
+		Sessions:            s.mgr.len(),
+		InFlight:            s.adm.inFlight(),
+		MaxInFlight:         s.adm.capacity(),
+		Info:                info,
+		CostEstimateSeconds: s.adm.costEstimate(),
 	}
 	if hr, ok := s.opt.Ingestor.(healthReporter); ok {
 		h := hr.Health()
@@ -413,6 +557,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	if sb, ok := s.be.(setBackend); ok {
+		info.Shards = sb.NumShards()
 		byHome := s.mgr.countByHome(sb.NumShards())
 		health := sb.Health()
 		resp.Shards = make([]shardHealthBlock, len(health))

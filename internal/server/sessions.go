@@ -5,7 +5,10 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // managedSession is one tenant's feedback session plus the bookkeeping
@@ -19,11 +22,42 @@ type managedSession struct {
 	mu   sync.Mutex // serializes this session's request handling
 	sess Session
 	home int // home shard (-1 when the backend is unsharded)
+	// relay is the session query's trace sink (nil when neither span
+	// export nor a user sink is configured); a sampled request activates
+	// it under mu to capture feedback spans as trace children.
+	relay *relaySink
 
 	// Guarded by the manager's lock.
 	elem     *list.Element
 	lastUsed time.Time
 	created  time.Time
+}
+
+// relaySink is installed as a session query's trace sink: events (the
+// per-round feedback classify/cluster spans) always reach the
+// user-configured base sink, and — while a trace-exported request holds
+// the session — also the request's trace as child spans. The active
+// pointer is atomic out of caution (the per-session mutex already
+// serializes activate/deactivate with the feedback path).
+type relaySink struct {
+	base   obs.Sink
+	active atomic.Pointer[sinkRef]
+}
+
+// sinkRef boxes a Sink interface value for atomic.Pointer.
+type sinkRef struct{ s obs.Sink }
+
+func (r *relaySink) activate(s obs.Sink) { r.active.Store(&sinkRef{s: s}) }
+func (r *relaySink) deactivate()         { r.active.Store(nil) }
+
+// Emit implements obs.Sink.
+func (r *relaySink) Emit(e obs.Event) {
+	if r.base != nil {
+		r.base.Emit(e)
+	}
+	if ref := r.active.Load(); ref != nil {
+		ref.s.Emit(e)
+	}
 }
 
 // sessionManager maps opaque session IDs to live feedback sessions with
@@ -67,8 +101,8 @@ func newSessionID() string {
 // least-recently-used session when the capacity is reached. The caller
 // generates the id first (newSessionID) because a sharded backend
 // routes the session by it before the session exists.
-func (m *sessionManager) insert(id string, sess Session, home int, now time.Time) {
-	ms := &managedSession{id: id, sess: sess, home: home, lastUsed: now, created: now}
+func (m *sessionManager) insert(id string, sess Session, home int, relay *relaySink, now time.Time) {
+	ms := &managedSession{id: id, sess: sess, home: home, relay: relay, lastUsed: now, created: now}
 	m.mu.Lock()
 	for m.capacity > 0 && len(m.sessions) >= m.capacity {
 		oldest := m.lru.Back()

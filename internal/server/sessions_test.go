@@ -17,7 +17,7 @@ func managerFixture(t *testing.T, capacity int, ttl time.Duration) (*sessionMana
 // unit tests (no routing affinity).
 func insertSession(m *sessionManager, sess Session, now time.Time) string {
 	id := newSessionID()
-	m.insert(id, sess, -1, now)
+	m.insert(id, sess, -1, nil, now)
 	return id
 }
 

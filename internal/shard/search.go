@@ -10,7 +10,22 @@ import (
 	qcluster "repro"
 	"repro/internal/distance"
 	"repro/internal/index"
+	"repro/internal/obs"
 )
+
+// costStats converts per-shard index statistics into the obs layer's
+// dependency-free CostStats for the request profile.
+func costStats(s index.SearchStats) obs.CostStats {
+	return obs.CostStats{
+		NodesVisited:    s.NodesVisited,
+		LeavesVisited:   s.LeavesVisited,
+		LeavesTotal:     s.LeavesTotal,
+		DistanceEvals:   s.DistanceEvals,
+		BatchedEvals:    s.BatchedEvals,
+		AbandonedEvals:  s.AbandonedEvals,
+		CacheSeedLeaves: s.CacheSeedLeaves,
+	}
+}
 
 // shardSearch is one per-shard leg of a scatter-gather query: it
 // returns the shard's local top-k (local ids) computed against the
@@ -40,6 +55,7 @@ func (s *Set) gather(ctx context.Context, k int, run shardSearch) ([]qcluster.Re
 	type out struct {
 		res   []qcluster.Result
 		stats index.SearchStats
+		dur   time.Duration
 		err   error
 	}
 	outs := make([]out, n)
@@ -58,18 +74,26 @@ func (s *Set) gather(ctx context.Context, k int, run shardSearch) ([]qcluster.Re
 			for j := range res {
 				res[j].ID = g[res[j].ID]
 			}
-			outs[i] = out{res: res, stats: stats, err: err}
+			outs[i] = out{res: res, stats: stats, dur: time.Since(start), err: err}
 		}(i)
 	}
 	for i := 0; i < n; i++ {
 		<-done
 	}
 
+	// The request's cost profile (nil outside the serving tier) gets the
+	// scatter wall-clock as its search stage, one per-shard child span,
+	// and the merge stage. Attachment happens here, after the join, on
+	// the single request goroutine — the per-shard legs themselves only
+	// feed their own shard database's metrics.
+	prof := obs.ProfileFromContext(ctx)
+	prof.StageAt(obs.StageSearch, start, time.Since(start))
 	var stats index.SearchStats
 	var merged []qcluster.Result
 	partial := false
 	for i := range outs {
 		stats.Add(outs[i].stats)
+		prof.AddShard(i, start, outs[i].dur, costStats(outs[i].stats))
 		merged = append(merged, outs[i].res...)
 		if err := outs[i].err; err != nil {
 			if errors.Is(err, qcluster.ErrPartialResults) {
@@ -80,6 +104,7 @@ func (s *Set) gather(ctx context.Context, k int, run shardSearch) ([]qcluster.Re
 			return nil, stats, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	mergeStart := time.Now()
 	sort.Slice(merged, func(a, b int) bool {
 		if merged[a].Dist != merged[b].Dist {
 			return merged[a].Dist < merged[b].Dist
@@ -89,8 +114,11 @@ func (s *Set) gather(ctx context.Context, k int, run shardSearch) ([]qcluster.Re
 	if len(merged) > k {
 		merged = merged[:k]
 	}
+	prof.StageAt(obs.StageMerge, mergeStart, time.Since(mergeStart))
 	s.met.searches.Inc()
-	s.met.searchS.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	s.met.searchS.Observe(elapsed.Seconds())
+	s.met.observeGather(elapsed, stats)
 	if partial {
 		s.met.partials.Inc()
 		cause := ctx.Err()
