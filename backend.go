@@ -1,0 +1,200 @@
+package qcluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+)
+
+// This file is the backend-selection layer: every Database carries one
+// of three k-NN execution paths behind the same search API. The exact
+// hybrid tree stays the default and the substrate of sessions'
+// refinement caches; the VA-file trades tree traversal for a
+// filter-and-refine scan (still exact); the ANN backend trades recall
+// for latency — an HNSW-style graph over float32-quantized vectors
+// proposes candidates, and exact full-precision refinement keeps every
+// result list (and all downstream feedback math) bit-exact given the
+// candidates.
+
+// IndexBackend names a k-NN execution path.
+type IndexBackend string
+
+const (
+	// BackendTree is the exact hybrid-tree best-first search (default).
+	BackendTree IndexBackend = "tree"
+	// BackendVAFile is the exact VA-file filter-and-refine scan.
+	BackendVAFile IndexBackend = "vafile"
+	// BackendANN is the approximate HNSW-graph search with exact
+	// refinement of the candidate set.
+	BackendANN IndexBackend = "ann"
+)
+
+// normalize maps the zero value to the default and rejects unknowns.
+func (b IndexBackend) normalize() (IndexBackend, error) {
+	switch b {
+	case "", BackendTree:
+		return BackendTree, nil
+	case BackendVAFile, BackendANN:
+		return b, nil
+	}
+	return "", fmt.Errorf("qcluster: unknown index backend %q (want tree, vafile or ann)", string(b))
+}
+
+// ANNOptions tunes the "ann" backend (ignored by the others). Zero
+// values use the defaults (M=16, efConstruction=128, efSearch=64).
+type ANNOptions struct {
+	// M is the graph's maximum neighbor degree above layer 0.
+	M int
+	// EfConstruction is the insert-time candidate-beam width.
+	EfConstruction int
+	// EfSearch is the query-time beam width — the recall/latency knob.
+	EfSearch int
+	// Seed makes the level assignment (and so the whole graph, given
+	// insertion order) deterministic.
+	Seed int64
+}
+
+// IndexInfo describes the database's active search backend — the block
+// qserve reports in /healthz and session-create responses.
+type IndexInfo struct {
+	// Backend is the execution path: "tree", "vafile" or "ann".
+	Backend string `json:"backend"`
+	// ANNM / ANNEfConstruction / ANNEfSearch echo the resolved graph
+	// parameters (0 unless Backend is "ann").
+	ANNM              int `json:"ann_m,omitempty"`
+	ANNEfConstruction int `json:"ann_ef_construction,omitempty"`
+	ANNEfSearch       int `json:"ann_ef_search,omitempty"`
+}
+
+// IndexInfo reports the active backend and its resolved parameters.
+func (db *Database) IndexInfo() IndexInfo {
+	info := IndexInfo{Backend: string(db.backend)}
+	if db.annIdx != nil {
+		opt := db.annIdx.Opt()
+		info.ANNM = opt.M
+		info.ANNEfConstruction = opt.EfConstruction
+		info.ANNEfSearch = opt.EfSearch
+	}
+	return info
+}
+
+// buildBackend constructs the auxiliary index for non-tree backends
+// (the tree itself is always built: it is the durability snapshot's
+// substrate and the refinement-cache path).
+func (db *Database) buildBackend(opt IndexOptions) error {
+	switch db.backend {
+	case BackendVAFile:
+		db.va = index.NewVAFile(db.store, index.VAFileOptions{})
+	case BackendANN:
+		idx, err := ann.New(db.store, ann.Options{
+			M:              opt.ANN.M,
+			EfConstruction: opt.ANN.EfConstruction,
+			EfSearch:       opt.ANN.EfSearch,
+			Seed:           opt.ANN.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("qcluster: building ann index: %w", err)
+		}
+		db.annIdx = idx
+	}
+	return nil
+}
+
+// syncBackendLocked brings the auxiliary index up to date with store
+// rows appended by the current (write-locked) insert.
+func (db *Database) syncBackendLocked(ids []int) error {
+	switch db.backend {
+	case BackendVAFile:
+		db.va.Extend()
+	case BackendANN:
+		if err := db.annIdx.InsertBatch(ids); err != nil {
+			return fmt.Errorf("qcluster: ann insert: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkQuantizable pre-validates one vector against the ANN codec so a
+// float32-overflowing component rejects the Add before anything is
+// appended (the graph mirror cannot hold it, and a half-applied insert
+// would strand the store and graph at different lengths).
+func (db *Database) checkQuantizable(i int, v []float64) error {
+	if db.backend != BackendANN {
+		return nil
+	}
+	for d, x := range v {
+		if _, err := ann.Quantize(x); err != nil {
+			return fmt.Errorf("qcluster: vector %d component %d: %w", i, d, err)
+		}
+	}
+	return nil
+}
+
+// knnBackend is the one dispatch point every search path funnels
+// through: it runs one k-NN on the active backend under the read lock.
+// rs (the session's refinement cache) and sb (the cross-shard shared
+// bound) only apply to the tree backend — the VA-file has no leaf cache
+// and the ANN path prunes nothing, so both are ignored there and the
+// scatter-gather merge still works (each leg returns its full local
+// top-k, a superset of what a bound would have kept).
+func (db *Database) knnBackend(ctx context.Context, m distance.Metric, k int, sb *index.SharedBound, rs *index.RefinementSearcher) ([]index.Result, index.SearchStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	switch db.backend {
+	case BackendVAFile:
+		return db.va.KNNContext(ctx, m, k)
+	case BackendANN:
+		return db.annIdx.KNNEf(ctx, m, k, 0)
+	}
+	if rs != nil {
+		return rs.KNNSharedContext(ctx, m, k, sb)
+	}
+	return db.tree.KNNSharedContext(ctx, m, k, sb)
+}
+
+// SearchApprox answers a plain k-NN query on the ANN backend with an
+// explicit efSearch override (0 = the index default) — the recall knob
+// per query instead of per database. See SearchApproxContext.
+func (db *Database) SearchApprox(example []float64, k, efSearch int) []Result {
+	res, err := db.SearchApproxContext(context.Background(), example, k, efSearch)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// SearchApproxContext is SearchApprox with cooperative cancellation and
+// a panic barrier. It requires IndexOptions.Backend "ann"
+// (ErrBackendUnavailable otherwise); results are the exact-refined
+// candidates of one graph search, so they are bit-exact given the
+// candidate set, and efSearch >= Len() degenerates to an exhaustive
+// exact search.
+func (db *Database) SearchApproxContext(ctx context.Context, example []float64, k, efSearch int) (_ []Result, err error) {
+	defer barrier("SearchApproxContext", &err)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("qcluster: search not started: %w", cerr)
+	}
+	if db.backend != BackendANN {
+		return nil, fmt.Errorf("qcluster: backend is %q: %w", string(db.backend), ErrBackendUnavailable)
+	}
+	if len(example) != db.Dim() {
+		db.met.dimMismatch.Inc()
+		return nil, fmt.Errorf("qcluster: example has dimension %d, database has %d: %w",
+			len(example), db.Dim(), ErrDimensionMismatch)
+	}
+	m := &distance.Euclidean{Center: linalg.Vector(example)}
+	start := time.Now()
+	db.mu.RLock()
+	res, stats, cerr := db.annIdx.KNNEf(ctx, m, k, efSearch)
+	db.mu.RUnlock()
+	elapsed := time.Since(start)
+	db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
+	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
+	return convertResults(res), wrapInterrupt(cerr, len(res))
+}

@@ -1,0 +1,251 @@
+package qcluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildDB constructs a database over vectors with the given backend (and
+// for "ann" an efSearch covering the whole collection, so every search
+// degenerates to an exhaustive exact sweep — the bit-identity regime).
+func buildDB(t *testing.T, vectors [][]float64, opt IndexOptions) *Database {
+	t.Helper()
+	db, err := NewDatabaseWithOptions(vectors, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// identicalResults asserts bit-exact equality, distances included.
+func identicalResults(t *testing.T, got, want []Result, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID ||
+			math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+			t.Fatalf("%s: result %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBackendUnknownRejected(t *testing.T) {
+	_, err := NewDatabaseWithOptions([][]float64{{1, 2}}, IndexOptions{Backend: "lsh"})
+	if err == nil {
+		t.Fatal("unknown backend must fail construction")
+	}
+}
+
+func TestVAFileBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	vectors, _ := buildVectors(rng)
+	tree := buildDB(t, vectors, IndexOptions{})
+	va := buildDB(t, vectors, IndexOptions{Backend: BackendVAFile})
+	if got := va.IndexInfo().Backend; got != "vafile" {
+		t.Fatalf("IndexInfo().Backend = %q", got)
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		q := vectors[rng.Intn(len(vectors))]
+		identicalResults(t, va.SearchByExample(q, 15), tree.SearchByExample(q, 15), "vafile search")
+	}
+
+	// Inserts reach the VA-file through Extend: appended vectors must be
+	// visible and the two exact backends must still agree.
+	for i := 0; i < 25; i++ {
+		v := []float64{rng.NormFloat64() * 4, rng.NormFloat64() * 4, rng.NormFloat64() * 4}
+		if _, err := tree.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := va.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := va.Vector(va.Len() - 1)
+	res := va.SearchByExample(q, 5)
+	if len(res) == 0 || res[0].ID != va.Len()-1 {
+		t.Fatalf("appended vector not first in its own self-query: %+v", res)
+	}
+	identicalResults(t, res, tree.SearchByExample(q, 5), "vafile search after Add")
+}
+
+// TestANNBackendBitIdentityWithFeedback is the refinement bit-identity
+// contract end to end: with efSearch covering the whole collection the
+// ANN candidate set equals the collection, so exact refinement must make
+// every search — and every feedback round driven by those results —
+// bit-identical to the exact tree backend, adaptive metric included.
+func TestANNBackendBitIdentityWithFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	vectors, labels := buildVectors(rng)
+	tree := buildDB(t, vectors, IndexOptions{})
+	annDB := buildDB(t, vectors, IndexOptions{
+		Backend: BackendANN,
+		ANN:     ANNOptions{EfSearch: len(vectors) + 1, Seed: 7},
+	})
+	if got := annDB.IndexInfo(); got.Backend != "ann" || got.ANNEfSearch != len(vectors)+1 {
+		t.Fatalf("IndexInfo = %+v", got)
+	}
+
+	st := tree.NewSession(tree.Vector(0), Options{})
+	sa := annDB.NewSession(annDB.Vector(0), Options{})
+	for round := 0; round < 4; round++ {
+		rt := st.Results(40)
+		ra := sa.Results(40)
+		identicalResults(t, ra, rt, "feedback round")
+		var marked []Point
+		for _, r := range rt {
+			if labels[r.ID] == 0 {
+				marked = append(marked, Point{ID: r.ID, Vec: tree.Vector(r.ID), Score: 3})
+			}
+		}
+		if err := st.MarkRelevant(marked); err != nil {
+			t.Fatal(err)
+		}
+		if err := sa.MarkRelevant(marked); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Query().NumQueryPoints() != sa.Query().NumQueryPoints() {
+		t.Fatalf("query points diverged: tree %d, ann %d",
+			st.Query().NumQueryPoints(), sa.Query().NumQueryPoints())
+	}
+
+	// The stateless paths agree too.
+	q := vectors[rng.Intn(len(vectors))]
+	identicalResults(t, annDB.SearchByExample(q, 20), tree.SearchByExample(q, 20), "stateless search")
+}
+
+func TestANNBackendApproxRecall(t *testing.T) {
+	// With a realistic (bounded) efSearch the ANN backend is genuinely
+	// approximate; on easy clustered data its refined top-10 should still
+	// almost always match the exact answer set.
+	rng := rand.New(rand.NewSource(42))
+	var vectors [][]float64
+	for c := 0; c < 8; c++ {
+		cx, cy, cz := rng.NormFloat64()*8, rng.NormFloat64()*8, rng.NormFloat64()*8
+		for i := 0; i < 150; i++ {
+			vectors = append(vectors, []float64{
+				cx + 0.3*rng.NormFloat64(), cy + 0.3*rng.NormFloat64(), cz + 0.3*rng.NormFloat64(),
+			})
+		}
+	}
+	tree := buildDB(t, vectors, IndexOptions{})
+	annDB := buildDB(t, vectors, IndexOptions{Backend: BackendANN, ANN: ANNOptions{EfSearch: 128, Seed: 3}})
+
+	hits, total := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		q := vectors[rng.Intn(len(vectors))]
+		want := tree.SearchByExample(q, 10)
+		got := annDB.SearchByExample(q, 10)
+		exact := make(map[int]bool, len(want))
+		for _, r := range want {
+			exact[r.ID] = true
+		}
+		for _, r := range got {
+			if exact[r.ID] {
+				hits++
+			}
+		}
+		total += len(want)
+	}
+	if recall := float64(hits) / float64(total); recall < 0.95 {
+		t.Fatalf("recall@10 = %.3f, want >= 0.95", recall)
+	}
+	// The approximate path must report graph work in its metrics.
+	snap := annDB.Metrics()
+	if snap.Counters["index.graph_hops"] == 0 || snap.Counters["index.refine_evals"] == 0 {
+		t.Fatalf("graph counters missing: hops=%d refine=%d",
+			snap.Counters["index.graph_hops"], snap.Counters["index.refine_evals"])
+	}
+}
+
+func TestSearchApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	vectors, _ := buildVectors(rng)
+	annDB := buildDB(t, vectors, IndexOptions{Backend: BackendANN, ANN: ANNOptions{Seed: 1}})
+
+	res := annDB.SearchApprox(annDB.Vector(3), 5, len(vectors)+1)
+	if len(res) != 5 || res[0].ID != 3 || res[0].Dist != 0 {
+		t.Fatalf("self-query results: %+v", res)
+	}
+	// The per-query efSearch override degenerates to exact: compare with
+	// the tree.
+	tree := buildDB(t, vectors, IndexOptions{})
+	identicalResults(t, res, tree.SearchByExample(tree.Vector(3), 5), "SearchApprox exhaustive")
+
+	// Wrong backend → ErrBackendUnavailable.
+	if _, err := tree.SearchApproxContext(context.Background(), tree.Vector(0), 5, 0); !errors.Is(err, ErrBackendUnavailable) {
+		t.Fatalf("tree backend SearchApprox err = %v, want ErrBackendUnavailable", err)
+	}
+	// Dimension mismatch still checked.
+	if _, err := annDB.SearchApproxContext(context.Background(), []float64{1}, 5, 0); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestANNBackendRejectsUnquantizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	vectors, _ := buildVectors(rng)
+	annDB := buildDB(t, vectors, IndexOptions{Backend: BackendANN})
+	n := annDB.Len()
+	// 1e39 overflows float32: the add must fail atomically — nothing
+	// appended, graph and store still in lockstep, searches still fine.
+	if _, err := annDB.Add([]float64{1, 2, 1e39}); err == nil {
+		t.Fatal("float32-overflowing component must reject the Add on the ann backend")
+	}
+	if _, err := annDB.AddBatch([][]float64{{1, 2, 3}, {0, 0, math.MaxFloat64}}); err == nil {
+		t.Fatal("unquantizable batch must be rejected atomically")
+	}
+	if annDB.Len() != n {
+		t.Fatalf("failed adds changed Len: %d -> %d", n, annDB.Len())
+	}
+	if res := annDB.SearchApprox(annDB.Vector(0), 3, 0); len(res) != 3 {
+		t.Fatalf("search after rejected adds: %d results", len(res))
+	}
+	// The exact backends accept the same vector (no quantization there).
+	tree := buildDB(t, vectors, IndexOptions{})
+	if _, err := tree.Add([]float64{1, 2, 1e39}); err != nil {
+		t.Fatalf("tree backend rejected a finite vector: %v", err)
+	}
+}
+
+func TestResplitMetricsSurface(t *testing.T) {
+	// Small leaves + a large batch ⇒ re-splits must show up in the
+	// maintenance metrics ("index.resplits", "search.resplit_ns") and the
+	// backlog gauge must drain to zero eventually.
+	rng := rand.New(rand.NewSource(45))
+	vectors := make([][]float64, 64)
+	for i := range vectors {
+		vectors[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	db := buildDB(t, vectors, IndexOptions{NodeSizeBytes: 256, MaxResplitsPerBatch: 1})
+	batch := make([][]float64, 256)
+	for i := range batch {
+		batch[i] = []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+	}
+	if _, err := db.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Metrics()
+	if snap.Counters["index.resplits"] == 0 || snap.Counters["search.resplit_ns"] == 0 {
+		t.Fatalf("re-split metrics missing: %+v", snap.Counters)
+	}
+	if snap.Gauges["index.resplit_pending"] == 0 {
+		t.Fatal("capped batch should leave a deferred backlog")
+	}
+	for db.Metrics().Gauges["index.resplit_pending"] > 0 {
+		if _, err := db.Add([]float64{rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactness held throughout.
+	res := db.SearchByExample([]float64{0, 0}, db.Len())
+	if len(res) != db.Len() {
+		t.Fatalf("found %d of %d items", len(res), db.Len())
+	}
+}

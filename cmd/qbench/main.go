@@ -90,6 +90,10 @@ type config struct {
 	// search-experiment knobs
 	parallelism int
 	benchOut    string
+	annN        int
+	annDim      int
+	annQueries  int
+	annOnly     bool
 
 	// obs-experiment knob
 	obsOut string
@@ -128,6 +132,10 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 2003, "master random seed")
 	flag.IntVar(&cfg.parallelism, "parallelism", 0, "search workers for -exp search (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_search.json", "JSON output path for -exp search (empty to skip)")
+	flag.IntVar(&cfg.annN, "annn", 65536, "collection size for the ANN recall-latency frontier in -exp search (0 disables the ANN section)")
+	flag.IntVar(&cfg.annDim, "anndim", 32, "dimensionality for the ANN frontier")
+	flag.IntVar(&cfg.annQueries, "annqueries", 40, "queries per efSearch point in the ANN frontier")
+	flag.BoolVar(&cfg.annOnly, "annonly", false, "-exp search: skip the exact-tree sweep, run only the ANN frontier + gates (CI smoke)")
 	flag.StringVar(&cfg.obsOut, "obsout", "BENCH_obs.json", "JSON output path for -exp obs (empty to skip)")
 	flag.IntVar(&cfg.kernelN, "kerneln", 20000, "collection size for -exp kernel")
 	flag.StringVar(&cfg.kernelOut, "kernelout", "BENCH_kernel.json", "JSON output path for -exp kernel (empty to skip)")

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/distance"
 	"repro/internal/index"
 	"repro/internal/linalg"
@@ -16,9 +19,15 @@ import (
 
 // The search experiment measures the k-NN hot path itself — per-query
 // latency and distance-evaluation throughput of the hybrid tree, with
-// the parallel leaf stage against the sequential traversal — and writes
-// a machine-readable BENCH_search.json so every future perf PR lands on
-// a recorded trajectory (schema documented in EXPERIMENTS.md).
+// the parallel leaf stage against the sequential traversal — and, since
+// schema v3, the ANN backend's committed recall–latency frontier: one
+// recall@k + latency point per efSearch against the exact tree baseline
+// over the same queries, plus the exhaustive-beam bit-identity check.
+// It writes a machine-readable BENCH_search.json so every future perf
+// PR lands on a recorded trajectory (schema documented in
+// EXPERIMENTS.md). The ANN section doubles as a CI gate: the process
+// exits non-zero when the frontier misses the recall floor or the
+// exhaustive beam is not bit-identical to the exact search.
 
 // searchSide is one traversal mode's measurements over a cell's queries.
 type searchSide struct {
@@ -41,6 +50,40 @@ type searchCell struct {
 	IdenticalResults bool       `json:"identical_results"`
 }
 
+// annPoint is one efSearch setting on the recall–latency frontier.
+type annPoint struct {
+	EfSearch       int     `json:"ef_search"`
+	RecallAtK      float64 `json:"recall_at_k"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	MeanMs         float64 `json:"mean_ms"`
+	GraphHops      int64   `json:"graph_hops"`
+	RefineEvals    int64   `json:"refine_evals"`
+	SpeedupVsExact float64 `json:"speedup_vs_exact"` // exact mean / ann mean
+}
+
+// annFrontier is the v3 ANN section: the graph configuration, the exact
+// tree baseline over the same queries, and the swept frontier.
+type annFrontier struct {
+	N              int        `json:"n"`
+	Dim            int        `json:"dim"`
+	M              int        `json:"m"`
+	EfConstruction int        `json:"ef_construction"`
+	K              int        `json:"k"` // recall@k
+	Queries        int        `json:"queries"`
+	BuildMs        float64    `json:"build_ms"`
+	Exact          searchSide `json:"exact"` // hybrid-tree baseline
+	Points         []annPoint `json:"points"`
+	// BitIdentityExhaustive reports whether an efSearch covering the
+	// whole collection reproduced the exact results bit-for-bit
+	// (distances compared by Float64bits) — the refinement contract.
+	BitIdentityExhaustive bool `json:"bit_identity_exhaustive"`
+}
+
+// annRecallFloor is the committed frontier contract (and the CI gate):
+// at least one swept efSearch must reach this recall@k.
+const annRecallFloor = 0.95
+
 // searchReport is the BENCH_search.json document.
 type searchReport struct {
 	Schema      string       `json:"schema"`
@@ -50,33 +93,41 @@ type searchReport struct {
 	Queries     int          `json:"queries"`
 	Seed        int64        `json:"seed"`
 	Cells       []searchCell `json:"cells"`
+	ANN         *annFrontier `json:"ann,omitempty"`
 }
 
 func (r *runner) searchBench() {
 	report := searchReport{
-		Schema:      "qcluster-bench-search/v2",
+		Schema:      "qcluster-bench-search/v3",
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Parallelism: resolveWorkers(r.cfg.parallelism),
 		K:           r.cfg.k,
 		Queries:     r.cfg.queries,
 		Seed:        r.cfg.seed,
 	}
-	fmt.Printf("k-NN hot path: k=%d, %d queries/cell, %d workers (GOMAXPROCS %d)\n\n",
-		report.K, report.Queries, report.Parallelism, report.GoMaxProcs)
-	fmt.Printf("%-9s %8s %5s | %23s | %23s | %7s %6s\n",
-		"metric", "N", "dim", "sequential p50/p95 ms", "parallel   p50/p95 ms", "speedup", "equal")
-	for _, metric := range []string{"euclidean", "quad-full"} {
-		for _, n := range []int{10000, 100000} {
-			for _, dim := range []int{8, 32} {
-				cell := runSearchCell(metric, n, dim, report.K, report.Queries, report.Parallelism, report.Seed)
-				report.Cells = append(report.Cells, cell)
-				fmt.Printf("%-9s %8d %5d | %11.3f /%9.3f | %11.3f /%9.3f | %6.2fx %6v\n",
-					cell.Metric, cell.N, cell.Dim,
-					cell.Sequential.P50Ms, cell.Sequential.P95Ms,
-					cell.Parallel.P50Ms, cell.Parallel.P95Ms,
-					cell.Speedup, cell.IdenticalResults)
+	if !r.cfg.annOnly {
+		fmt.Printf("k-NN hot path: k=%d, %d queries/cell, %d workers (GOMAXPROCS %d)\n\n",
+			report.K, report.Queries, report.Parallelism, report.GoMaxProcs)
+		fmt.Printf("%-9s %8s %5s | %23s | %23s | %7s %6s\n",
+			"metric", "N", "dim", "sequential p50/p95 ms", "parallel   p50/p95 ms", "speedup", "equal")
+		for _, metric := range []string{"euclidean", "quad-full"} {
+			for _, n := range []int{10000, 100000} {
+				for _, dim := range []int{8, 32} {
+					cell := runSearchCell(metric, n, dim, report.K, report.Queries, report.Parallelism, report.Seed)
+					report.Cells = append(report.Cells, cell)
+					fmt.Printf("%-9s %8d %5d | %11.3f /%9.3f | %11.3f /%9.3f | %6.2fx %6v\n",
+						cell.Metric, cell.N, cell.Dim,
+						cell.Sequential.P50Ms, cell.Sequential.P95Ms,
+						cell.Parallel.P50Ms, cell.Parallel.P95Ms,
+						cell.Speedup, cell.IdenticalResults)
+				}
 			}
 		}
+	}
+	gateOK := true
+	if r.cfg.annN > 0 {
+		report.ANN, gateOK = runANNFrontier(r.cfg.annN, r.cfg.annDim, r.cfg.annQueries,
+			report.Parallelism, report.Seed)
 	}
 	if r.cfg.benchOut != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -90,6 +141,174 @@ func (r *runner) searchBench() {
 		}
 		fmt.Printf("\nwrote %s\n", r.cfg.benchOut)
 	}
+	if !gateOK {
+		fmt.Fprintln(os.Stderr, "search: ANN gate FAILED (recall floor or bit-identity)")
+		os.Exit(1)
+	}
+}
+
+// runANNFrontier builds one clustered collection, measures the exact
+// hybrid-tree baseline, sweeps efSearch over the HNSW backend for the
+// recall@10–latency frontier, and verifies the exhaustive-beam
+// bit-identity contract. Returns ok=false when the frontier misses
+// annRecallFloor at every swept point or the identity check fails.
+func runANNFrontier(n, dim, queries, workers int, seed int64) (*annFrontier, bool) {
+	const annK = 10 // the committed frontier is recall@10
+	rng := rand.New(rand.NewSource(seed + 77))
+	// Gaussian-mixture collection: the clustered regime CBIR features
+	// live in, and the one where naive graph construction loses
+	// connectivity — which the committed recall floor guards against.
+	nClusters := n / 1024
+	if nClusters < 8 {
+		nClusters = 8
+	}
+	data := make([]float64, 0, n*dim)
+	centers := make([][]float64, nClusters)
+	for c := range centers {
+		ctr := make([]float64, dim)
+		for d := range ctr {
+			ctr[d] = rng.NormFloat64() * 4
+		}
+		centers[c] = ctr
+	}
+	for i := 0; i < n; i++ {
+		ctr := centers[i%nClusters]
+		for d := 0; d < dim; d++ {
+			data = append(data, ctr[d]+rng.NormFloat64()*0.5)
+		}
+	}
+	store, err := index.NewStoreFlat(data, dim)
+	if err != nil {
+		panic(err)
+	}
+	tree := index.NewHybridTree(store, index.TreeOptions{Parallelism: workers})
+	t0 := time.Now()
+	annIdx, err := ann.New(store, ann.Options{Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	buildMs := time.Since(t0).Seconds() * 1e3
+
+	// Query-by-example workload: perturbations of stored vectors.
+	qs := make([]linalg.Vector, queries)
+	for i := range qs {
+		base := store.Vector(rng.Intn(n))
+		q := make(linalg.Vector, dim)
+		for d := range q {
+			q[d] = base[d] + rng.NormFloat64()*0.1
+		}
+		qs[i] = q
+	}
+
+	front := &annFrontier{
+		N: n, Dim: dim,
+		M:              annIdx.Opt().M,
+		EfConstruction: annIdx.Opt().EfConstruction,
+		K:              annK,
+		Queries:        queries,
+		BuildMs:        buildMs,
+	}
+
+	// Exact baseline (and the recall ground truth) over the same queries.
+	exact := make([][]index.Result, queries)
+	var exactLat []float64
+	var exactEvals int64
+	var exactTotal time.Duration
+	for i, q := range qs {
+		m := &distance.Euclidean{Center: q}
+		s0 := time.Now()
+		res, stats := tree.KNN(m, annK)
+		d := time.Since(s0)
+		exact[i] = res
+		exactLat = append(exactLat, d.Seconds()*1e3)
+		exactTotal += d
+		exactEvals += int64(stats.DistanceEvals)
+	}
+	front.Exact = summarizeSide(exactLat, exactEvals, exactTotal)
+
+	fmt.Printf("\nANN frontier: n=%d dim=%d M=%d efC=%d, recall@%d over %d queries (build %.0f ms)\n",
+		n, dim, front.M, front.EfConstruction, annK, queries, buildMs)
+	fmt.Printf("exact tree baseline: p50 %.3f ms, p95 %.3f ms\n", front.Exact.P50Ms, front.Exact.P95Ms)
+	fmt.Printf("%9s | %9s | %10s /%9s | %8s | %11s\n",
+		"efSearch", "recall@10", "p50 ms", "p95 ms", "speedup", "refine/query")
+	bestRecall := 0.0
+	for _, ef := range []int{16, 32, 64, 128, 256, 512} {
+		if ef >= n {
+			break // the sweep ends where the beam goes exhaustive
+		}
+		var lat []float64
+		var hops, refines int64
+		var total time.Duration
+		hits := 0
+		for i, q := range qs {
+			m := &distance.Euclidean{Center: q}
+			s0 := time.Now()
+			res, stats, err := annIdx.KNNEf(context.Background(), m, annK, ef)
+			d := time.Since(s0)
+			if err != nil {
+				panic(err)
+			}
+			lat = append(lat, d.Seconds()*1e3)
+			total += d
+			hops += int64(stats.GraphHops)
+			refines += int64(stats.RefineEvals)
+			want := make(map[int]bool, len(exact[i]))
+			for _, r := range exact[i] {
+				want[r.ID] = true
+			}
+			for _, r := range res {
+				if want[r.ID] {
+					hits++
+				}
+			}
+		}
+		pt := annPoint{
+			EfSearch:    ef,
+			RecallAtK:   float64(hits) / float64(annK*queries),
+			GraphHops:   hops,
+			RefineEvals: refines,
+		}
+		side := summarizeSide(lat, refines, total)
+		pt.P50Ms, pt.P95Ms, pt.MeanMs = side.P50Ms, side.P95Ms, side.MeanMs
+		if pt.MeanMs > 0 {
+			pt.SpeedupVsExact = front.Exact.MeanMs / pt.MeanMs
+		}
+		if pt.RecallAtK > bestRecall {
+			bestRecall = pt.RecallAtK
+		}
+		front.Points = append(front.Points, pt)
+		fmt.Printf("%9d | %9.3f | %10.3f /%9.3f | %7.2fx | %11d\n",
+			ef, pt.RecallAtK, pt.P50Ms, pt.P95Ms, pt.SpeedupVsExact, refines/int64(queries))
+	}
+
+	// Exhaustive-beam bit-identity: efSearch >= n degenerates to an
+	// exact sweep, so the refined results must reproduce the tree's
+	// bit-for-bit — ids, order and distances.
+	front.BitIdentityExhaustive = true
+	for i, q := range qs {
+		m := &distance.Euclidean{Center: q}
+		res, _, err := annIdx.KNNEf(context.Background(), m, annK, n)
+		if err != nil {
+			panic(err)
+		}
+		if len(res) != len(exact[i]) {
+			front.BitIdentityExhaustive = false
+			break
+		}
+		for j := range res {
+			if res[j].ID != exact[i][j].ID ||
+				math.Float64bits(res[j].Dist) != math.Float64bits(exact[i][j].Dist) {
+				front.BitIdentityExhaustive = false
+				break
+			}
+		}
+		if !front.BitIdentityExhaustive {
+			break
+		}
+	}
+	fmt.Printf("exhaustive-beam bit-identity: %v; best recall@10 %.3f (floor %.2f)\n",
+		front.BitIdentityExhaustive, bestRecall, annRecallFloor)
+	return front, front.BitIdentityExhaustive && bestRecall >= annRecallFloor
 }
 
 // resolveWorkers mirrors the index's knob semantics for the report.

@@ -36,6 +36,13 @@
 // and /healthz + /metrics carry per-shard blocks. Combined with -data,
 // each shard keeps its own WAL directory under the data root.
 //
+// With -backend the k-NN execution path is selectable: tree (default,
+// exact hybrid-tree), vafile (exact VA-file filter-and-refine) or ann
+// (approximate HNSW-style graph over float32-quantized vectors with
+// exact full-precision refinement of the candidates; recall tuned by
+// -ann-ef). /healthz's info block and session-create responses report
+// the active backend so clients know which contract results carry.
+//
 // Every request is traced: qserve honors and propagates W3C
 // traceparent headers, and -trace-sample exports span trees (admission
 // queue, session lock, per-shard search legs, merge, encode) as JSON
@@ -99,6 +106,16 @@ func main() {
 		parallelism    = flag.Int("parallelism", 0, "search workers per query (0 = GOMAXPROCS)")
 		shards         = flag.Int("shards", 1, "partition the collection into N scatter-gather shards, bit-identical to unsharded (1 = unsharded)")
 
+		// Search backend. The tree and vafile backends are exact; ann is
+		// an HNSW-style graph over float32-quantized vectors whose
+		// candidates are exactly refined at full precision (recall <= 1
+		// controlled by -ann-ef, results bit-exact given the candidates).
+		backend = flag.String("backend", "tree", "k-NN execution path: tree (exact), vafile (exact filter-and-refine), ann (approximate graph + exact refinement)")
+		annM    = flag.Int("ann-m", 0, "ann: max graph degree above layer 0 (0 = 16)")
+		annEf   = flag.Int("ann-ef", 0, "ann: query-time beam width efSearch, the recall/latency knob (0 = 64)")
+		annEfc  = flag.Int("ann-efc", 0, "ann: construction beam width efConstruction (0 = 128)")
+		annSeed = flag.Int64("ann-seed", 0, "ann: level-assignment seed (graph is deterministic given seed + insertion order)")
+
 		// Tracing and slow queries.
 		traceSample = flag.Float64("trace-sample", 0, "head-sampling probability for span export, 0..1 (slow requests are always exported once a sink exists)")
 		traceLog    = flag.String("trace-log", "", "span export destination: a JSON-lines file path, or '-' for stderr (implied stderr when -trace-sample > 0)")
@@ -117,7 +134,16 @@ func main() {
 		armCrash(*crash, *crashAt)
 	}
 
-	indexOpt := qcluster.IndexOptions{SearchParallelism: *parallelism}
+	indexOpt := qcluster.IndexOptions{
+		SearchParallelism: *parallelism,
+		Backend:           qcluster.IndexBackend(*backend),
+		ANN: qcluster.ANNOptions{
+			M:              *annM,
+			EfConstruction: *annEfc,
+			EfSearch:       *annEf,
+			Seed:           *annSeed,
+		},
+	}
 	opt := server.Options{
 		MaxSessions:     *maxSessions,
 		SessionTTL:      *sessionTTL,
@@ -210,7 +236,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "building database: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("collection ready (memory-only): %d vectors, %d dims\n", db.Len(), db.Dim())
+		fmt.Printf("collection ready (memory-only): %d vectors, %d dims, backend %s\n",
+			db.Len(), db.Dim(), db.IndexInfo().Backend)
 	}
 
 	var s *server.Server

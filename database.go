@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/distance"
 	"repro/internal/index"
 	"repro/internal/linalg"
@@ -35,6 +36,14 @@ type Database struct {
 	store *index.Store
 	tree  *index.HybridTree
 	met   *dbMetrics // always non-nil; see Metrics and ServeDebug
+
+	// backend selects the k-NN execution path; the auxiliary indexes
+	// below are non-nil exactly when their backend is active. The tree
+	// is always built regardless — it is the substrate of durability
+	// snapshots and session refinement caches.
+	backend IndexBackend
+	annIdx  *ann.Index
+	va      *index.VAFile
 }
 
 // IndexOptions tunes the database's search index. The zero value is the
@@ -47,6 +56,15 @@ type IndexOptions struct {
 	// stage: 0 uses GOMAXPROCS, 1 forces sequential search. Searches on
 	// small collections stay sequential regardless.
 	SearchParallelism int
+	// Backend selects the k-NN execution path: BackendTree (default,
+	// exact), BackendVAFile (exact filter-and-refine) or BackendANN
+	// (approximate graph navigation + exact refinement).
+	Backend IndexBackend
+	// ANN tunes the BackendANN graph (ignored by the other backends).
+	ANN ANNOptions
+	// MaxResplitsPerBatch caps inline leaf re-splits per insert batch
+	// (0 = default 8, negative = unlimited). See index.InsertStats.
+	MaxResplitsPerBatch int
 }
 
 // NewDatabase indexes the given vectors with default index options. All
@@ -67,13 +85,28 @@ func NewDatabaseWithOptions(vectors [][]float64, opt IndexOptions) (_ *Database,
 	if err != nil {
 		return nil, fmt.Errorf("qcluster: %w", err)
 	}
+	return newDatabaseFromStore(store, opt)
+}
+
+// newDatabaseFromStore finishes construction over a populated store:
+// the hybrid tree, the selected backend's auxiliary index, metrics.
+func newDatabaseFromStore(store *index.Store, opt IndexOptions) (*Database, error) {
+	backend, err := opt.Backend.normalize()
+	if err != nil {
+		return nil, err
+	}
 	db := &Database{
 		store: store,
 		tree: index.NewHybridTree(store, index.TreeOptions{
-			NodeSizeBytes: opt.NodeSizeBytes,
-			Parallelism:   opt.SearchParallelism,
+			NodeSizeBytes:       opt.NodeSizeBytes,
+			Parallelism:         opt.SearchParallelism,
+			MaxResplitsPerBatch: opt.MaxResplitsPerBatch,
 		}),
-		met: newDBMetrics(),
+		met:     newDBMetrics(),
+		backend: backend,
+	}
+	if err := db.buildBackend(opt); err != nil {
+		return nil, err
 	}
 	db.met.items.Set(float64(store.Len()))
 	return db, nil
@@ -84,13 +117,22 @@ func NewDatabaseWithOptions(vectors [][]float64, opt IndexOptions) (_ *Database,
 // the database serializes the mutation internally against all readers.
 func (db *Database) Add(vector []float64) (id int, err error) {
 	defer barrier("Add", &err)
+	if err := db.checkQuantizable(0, vector); err != nil {
+		return 0, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	id, err = db.store.Append(linalg.Vector(vector))
 	if err != nil {
 		return 0, fmt.Errorf("qcluster: %w", err)
 	}
-	db.tree.Insert(id)
+	ist := db.tree.Insert(id)
+	if err := db.syncBackendLocked([]int{id}); err != nil {
+		// Unreachable after checkQuantizable; a failure here would leave
+		// the graph behind the store, so surface it loudly.
+		panic(err)
+	}
+	db.met.observeInsert(ist)
 	db.met.adds.Inc()
 	db.met.items.Set(float64(db.store.Len()))
 	return id, nil
@@ -105,6 +147,10 @@ func (db *Database) Add(vector []float64) (id int, err error) {
 // applied. An empty batch is a no-op.
 func (db *Database) AddBatch(vectors [][]float64) (ids []int, err error) {
 	defer barrier("AddBatch", &err)
+	return db.addBatch(context.Background(), vectors)
+}
+
+func (db *Database) addBatch(ctx context.Context, vectors [][]float64) (ids []int, err error) {
 	if len(vectors) == 0 {
 		return nil, nil
 	}
@@ -119,6 +165,9 @@ func (db *Database) AddBatch(vectors [][]float64) (ids []int, err error) {
 				return nil, fmt.Errorf("qcluster: batch vector %d component %d is not finite (%v)", i, d, x)
 			}
 		}
+		if err := db.checkQuantizable(i, v); err != nil {
+			return nil, err
+		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -132,7 +181,18 @@ func (db *Database) AddBatch(vectors [][]float64) (ids []int, err error) {
 		}
 		ids[i] = id
 	}
-	db.tree.InsertBatch(ids)
+	resplitStart := time.Now()
+	ist := db.tree.InsertBatch(ids)
+	if err := db.syncBackendLocked(ids); err != nil {
+		panic(err) // unreachable after checkQuantizable, see Add
+	}
+	db.met.observeInsert(ist)
+	if ist.ResplitTime > 0 {
+		// The re-split work becomes its own child span on the request
+		// trace, so an ingest stalled behind index maintenance is
+		// visible per request, not only in the aggregate counter.
+		obs.ProfileFromContext(ctx).StageAt(obs.StageResplit, resplitStart, ist.ResplitTime)
+	}
 	db.met.adds.Add(int64(len(ids)))
 	db.met.items.Set(float64(db.store.Len()))
 	return ids, nil
@@ -141,12 +201,15 @@ func (db *Database) AddBatch(vectors [][]float64) (ids []int, err error) {
 // AddBatchContext is AddBatch with an up-front cancellation check — the
 // form the serving layer's ingest path calls. The batch itself is not
 // interruptible (it holds the write lock briefly); on a DurableDatabase
-// the context also bounds the wait for the group-commit fsync.
-func (db *Database) AddBatchContext(ctx context.Context, vectors [][]float64) ([]int, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("qcluster: add not started: %w", err)
+// the context also bounds the wait for the group-commit fsync. Deferred
+// leaf re-splits the batch drains are attributed to the request's cost
+// profile as a "resplit" stage.
+func (db *Database) AddBatchContext(ctx context.Context, vectors [][]float64) (_ []int, err error) {
+	defer barrier("AddBatchContext", &err)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("qcluster: add not started: %w", cerr)
 	}
-	return db.AddBatch(vectors)
+	return db.addBatch(ctx, vectors)
 }
 
 // Len returns the number of items.
@@ -194,9 +257,7 @@ func (db *Database) SearchByExample(example []float64, k int) []Result {
 	}
 	m := &distance.Euclidean{Center: linalg.Vector(example)}
 	start := time.Now()
-	db.mu.RLock()
-	res, stats := db.tree.KNN(m, k)
-	db.mu.RUnlock()
+	res, stats, _ := db.knnBackend(context.Background(), m, k, nil, nil)
 	db.met.observeSearch(time.Since(start), k, len(res), stats, false)
 	return convertResults(res)
 }
@@ -218,9 +279,7 @@ func (db *Database) SearchByExampleContext(ctx context.Context, example []float6
 	}
 	m := &distance.Euclidean{Center: linalg.Vector(example)}
 	start := time.Now()
-	db.mu.RLock()
-	res, stats, cerr := db.tree.KNNContext(ctx, m, k)
-	db.mu.RUnlock()
+	res, stats, cerr := db.knnBackend(ctx, m, k, nil, nil)
 	elapsed := time.Since(start)
 	db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
 	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
@@ -242,9 +301,7 @@ func (db *Database) Search(q *Query, k int) []Result {
 		db.met.degraded.Inc()
 	}
 	start := time.Now()
-	db.mu.RLock()
-	res, stats := db.tree.KNN(m, k)
-	db.mu.RUnlock()
+	res, stats, _ := db.knnBackend(context.Background(), m, k, nil, nil)
 	db.met.observeSearch(time.Since(start), k, len(res), stats, false)
 	return convertResults(res)
 }
@@ -268,9 +325,7 @@ func (db *Database) SearchContext(ctx context.Context, q *Query, k int) (_ []Res
 		db.met.degraded.Inc()
 	}
 	start := time.Now()
-	db.mu.RLock()
-	res, stats, cerr := db.tree.KNNContext(ctx, m, k)
-	db.mu.RUnlock()
+	res, stats, cerr := db.knnBackend(ctx, m, k, nil, nil)
 	elapsed := time.Since(start)
 	db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
 	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
@@ -356,9 +411,11 @@ func (s *Session) results(ctx context.Context, k int) ([]Result, error) {
 	}
 	start := time.Now()
 	s.mu.Lock()
-	s.db.mu.RLock()
-	res, stats, cerr := s.searcher.KNNContext(ctx, m, k)
-	s.db.mu.RUnlock()
+	rs := s.searcher
+	if s.db.backend != BackendTree {
+		rs = nil // refinement caches live on the tree path only
+	}
+	res, stats, cerr := s.db.knnBackend(ctx, m, k, nil, rs)
 	s.lastStats = stats
 	s.mu.Unlock()
 	elapsed := time.Since(start)

@@ -1,0 +1,477 @@
+package ann
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/index"
+)
+
+// Options tunes the HNSW-style graph. The zero value uses the defaults.
+type Options struct {
+	// M is the maximum neighbor degree on layers above 0 (layer 0 keeps
+	// up to 2M). Higher M = denser graph = better recall, more memory
+	// and slower inserts. Defaults to 16.
+	M int
+	// EfConstruction is the candidate-beam width while inserting.
+	// Defaults to 128.
+	EfConstruction int
+	// EfSearch is the default candidate-beam width at query time — the
+	// recall/latency knob. Per-query overrides pass through KNNEf.
+	// Defaults to 64.
+	EfSearch int
+	// Seed feeds the deterministic per-id level assignment: the same
+	// (seed, insertion order) always builds the same graph.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.M <= 1 {
+		o.M = 16
+	}
+	if o.EfConstruction <= 0 {
+		o.EfConstruction = 128
+	}
+	if o.EfSearch <= 0 {
+		o.EfSearch = 64
+	}
+	return o
+}
+
+// cand is one graph candidate: a node id and its (float32, squared
+// Euclidean) navigation distance. All orderings tie-break on id so
+// traversal and selection stay deterministic even when quantized
+// distances collide.
+type cand struct {
+	dist float32
+	id   int32
+}
+
+func candLess(a, b cand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// node is one graph vertex: neighbor lists for layers 0..level.
+type node struct {
+	links [][]int32
+}
+
+// maxLevel caps the level assignment; with mL = 1/ln(16) the chance of
+// drawing past it is ~2^-124 — the cap only bounds slice allocation.
+const maxLevel = 31
+
+// splitmix64 is the avalanche mix behind the deterministic level draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Index is an HNSW-style navigable-small-world graph (Malkov & Yashunin)
+// over the quantized mirror of a flat vector store: a stack of
+// progressively sparser proximity graphs, searched by greedy descent
+// from the top layer and a bounded best-first beam on layer 0.
+//
+// The graph only *navigates* — every candidate it surfaces is re-scored
+// with the full-precision metric before results leave the package, so
+// result lists are bit-exact functions of the candidate set.
+//
+// An Index is safe for concurrent use: inserts take the write lock,
+// searches share the read lock. Construction is deterministic given
+// (seed, insertion order): level assignment is a pure hash of the id
+// and every selection is ordered by (dist, id).
+type Index struct {
+	mu    sync.RWMutex
+	store *index.Store
+	f32   *StoreF32
+	opt   Options
+	mL    float64
+
+	nodes    []node
+	entry    int32
+	topLayer int
+
+	states sync.Pool // *searchState
+}
+
+// New builds a graph over the store's current contents by inserting
+// every row in id order.
+func New(s *index.Store, opt Options) (*Index, error) {
+	ix := &Index{
+		store: s,
+		f32:   &StoreF32{dim: s.Dim()},
+		opt:   opt.withDefaults(),
+		entry: -1,
+	}
+	ix.mL = 1 / math.Log(float64(ix.opt.M))
+	ids := make([]int, s.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	if err := ix.InsertBatch(ids); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Opt returns the resolved (defaulted) options.
+func (ix *Index) Opt() Options { return ix.opt }
+
+// Len returns the number of graphed rows.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.nodes)
+}
+
+// levelFor draws row id's deterministic level: an inverse-CDF sample of
+// the geometric-ish HNSW level law, floor(-ln(u) · mL), from a
+// splitmix64 hash of (seed, id). u lies in (0, 1], so level 0 has
+// probability 1 - e^{-1/mL} exactly as the randomized original.
+func (ix *Index) levelFor(id int) int {
+	h := splitmix64(uint64(ix.opt.Seed)*0x9e3779b97f4a7c15 + uint64(id))
+	u := (float64(h>>11) + 1) / (1 << 53)
+	l := int(-math.Log(u) * ix.mL)
+	if l > maxLevel {
+		l = maxLevel
+	}
+	return l
+}
+
+// maxDegree is the neighbor cap on one layer.
+func (ix *Index) maxDegree(layer int) int {
+	if layer == 0 {
+		return 2 * ix.opt.M
+	}
+	return ix.opt.M
+}
+
+// Insert adds store row id to the graph. Rows must be inserted in id
+// order (the graph mirrors the append-only store); the quantized mirror
+// is synced from the store first, so a codec rejection (a component the
+// float32 representation cannot hold) fails the insert before any graph
+// edge is built.
+func (ix *Index) Insert(id int) error { return ix.InsertBatch([]int{id}) }
+
+// InsertBatch adds a batch of store rows under one write lock.
+func (ix *Index) InsertBatch(ids []int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.f32.SyncFrom(ix.store); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := ix.insertLocked(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *Index) insertLocked(id int) error {
+	if id != len(ix.nodes) {
+		return fmt.Errorf("ann: insert id %d out of order, graph has %d rows", id, len(ix.nodes))
+	}
+	level := ix.levelFor(id)
+	ix.nodes = append(ix.nodes, node{links: make([][]int32, level+1)})
+	if ix.entry < 0 {
+		ix.entry = int32(id)
+		ix.topLayer = level
+		return nil
+	}
+
+	q := ix.f32.Row(id)
+	st := ix.getState()
+	defer ix.putState(st)
+
+	ep := cand{id: ix.entry, dist: sqDist(q, ix.f32.Row(int(ix.entry)))}
+	st.evals++
+	for l := ix.topLayer; l > level; l-- {
+		ep = ix.greedyStep(q, ep, l, st)
+	}
+	top := level
+	if ix.topLayer < top {
+		top = ix.topLayer
+	}
+	for l := top; l >= 0; l-- {
+		found := ix.searchLayer(context.Background(), q, ep, ix.opt.EfConstruction, l, st)
+		neighbors := ix.selectNeighbors(found, ix.opt.M)
+		for _, nb := range neighbors {
+			ix.link(int32(id), nb.id, l)
+			ix.link(nb.id, int32(id), l)
+		}
+		if len(found) > 0 {
+			ep = found[0]
+		}
+	}
+	if level > ix.topLayer {
+		ix.topLayer = level
+		ix.entry = int32(id)
+	}
+	return nil
+}
+
+// link appends dst to src's layer-l neighbor list, shrinking it with
+// the diversity heuristic when it exceeds the layer's degree cap.
+func (ix *Index) link(src, dst int32, layer int) {
+	ls := ix.nodes[src].links[layer]
+	for _, e := range ls {
+		if e == dst {
+			return
+		}
+	}
+	ls = append(ls, dst)
+	if limit := ix.maxDegree(layer); len(ls) > limit {
+		v := ix.f32.Row(int(src))
+		cands := make([]cand, len(ls))
+		for i, e := range ls {
+			cands[i] = cand{id: e, dist: sqDist(v, ix.f32.Row(int(e)))}
+		}
+		sort.Slice(cands, func(a, b int) bool { return candLess(cands[a], cands[b]) })
+		kept := ix.selectNeighbors(cands, limit)
+		ls = ls[:0]
+		for _, c := range kept {
+			ls = append(ls, c.id)
+		}
+	}
+	ix.nodes[src].links[layer] = ls
+}
+
+// selectNeighbors is the HNSW diversity heuristic (Malkov alg. 4):
+// scanning candidates in ascending (dist, id) order, keep c only when
+// it is closer to the query than to every already-kept neighbor —
+// spreading edges across clusters instead of piling them on one —
+// then, if the quota is not met, fill with the closest rejects (the
+// keep-pruned-connections variant, which preserves connectivity on
+// tightly clustered data).
+func (ix *Index) selectNeighbors(cands []cand, m int) []cand {
+	if len(cands) <= m {
+		return cands
+	}
+	kept := make([]cand, 0, m)
+	var rejected []cand
+	for _, c := range cands {
+		if len(kept) >= m {
+			break
+		}
+		cv := ix.f32.Row(int(c.id))
+		diverse := true
+		for _, k := range kept {
+			if sqDist(cv, ix.f32.Row(int(k.id))) < c.dist {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			kept = append(kept, c)
+		} else {
+			rejected = append(rejected, c)
+		}
+	}
+	for _, c := range rejected {
+		if len(kept) >= m {
+			break
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// greedyStep walks layer l from ep to its local minimum w.r.t. q.
+func (ix *Index) greedyStep(q []float32, ep cand, layer int, st *searchState) cand {
+	for {
+		improved := false
+		for _, e := range ix.nodes[ep.id].links[layer] {
+			d := sqDist(q, ix.f32.Row(int(e)))
+			st.evals++
+			if candLess(cand{dist: d, id: e}, ep) {
+				ep = cand{dist: d, id: e}
+				improved = true
+			}
+		}
+		st.hops++
+		if !improved {
+			return ep
+		}
+	}
+}
+
+// searchState is the pooled per-search scratch: an epoch-stamped
+// visited array (no clearing between searches) plus the two beams.
+type searchState struct {
+	visited []uint32
+	stamp   uint32
+	front   candMinHeap
+	best    candMaxHeap
+	hops    int
+	evals   int
+}
+
+func (ix *Index) getState() *searchState {
+	st, _ := ix.states.Get().(*searchState)
+	if st == nil {
+		st = &searchState{}
+	}
+	st.hops, st.evals = 0, 0
+	if n := len(ix.nodes); len(st.visited) < n {
+		st.visited = make([]uint32, n+n/2+16)
+		st.stamp = 0
+	}
+	return st
+}
+
+func (ix *Index) putState(st *searchState) { ix.states.Put(st) }
+
+// searchLayer runs the bounded best-first beam on one layer: expand the
+// closest frontier node, score unvisited neighbors, keep the ef best.
+// Returns the beam in ascending (dist, id) order. A cancelled context
+// stops expansion early and returns the best found so far — navigation
+// quality degrades, correctness (exact refinement) does not.
+func (ix *Index) searchLayer(ctx context.Context, q []float32, ep cand, ef, layer int, st *searchState) []cand {
+	st.stamp++
+	if st.stamp == 0 { // wrapped: stale stamps could alias, reset
+		for i := range st.visited {
+			st.visited[i] = 0
+		}
+		st.stamp = 1
+	}
+	st.visited[ep.id] = st.stamp
+	st.front = st.front[:0]
+	st.best = st.best[:0]
+	st.front.push(ep)
+	st.best.push(ep)
+
+	checkEvery := 0
+	for len(st.front) > 0 {
+		c := st.front.pop()
+		if len(st.best) >= ef && candLess(st.best.worst(), c) {
+			break // the whole frontier is farther than the kept beam
+		}
+		st.hops++
+		if checkEvery++; checkEvery&127 == 0 && ctx.Err() != nil {
+			break
+		}
+		for _, e := range ix.nodes[c.id].links[layer] {
+			if st.visited[e] == st.stamp {
+				continue
+			}
+			st.visited[e] = st.stamp
+			d := sqDist(q, ix.f32.Row(int(e)))
+			st.evals++
+			nc := cand{dist: d, id: e}
+			if len(st.best) < ef {
+				st.front.push(nc)
+				st.best.push(nc)
+			} else if candLess(nc, st.best.worst()) {
+				st.front.push(nc)
+				st.best.replaceWorst(nc)
+			}
+		}
+	}
+	out := make([]cand, len(st.best))
+	copy(out, st.best)
+	sort.Slice(out, func(a, b int) bool { return candLess(out[a], out[b]) })
+	return out
+}
+
+// candidates navigates the full layer stack for one quantized query
+// point: greedy descent through the sparse upper layers, then an
+// ef-wide beam on layer 0.
+func (ix *Index) candidates(ctx context.Context, q []float32, ef int, st *searchState) []cand {
+	ep := cand{id: ix.entry, dist: sqDist(q, ix.f32.Row(int(ix.entry)))}
+	st.evals++
+	for l := ix.topLayer; l > 0; l-- {
+		ep = ix.greedyStep(q, ep, l, st)
+	}
+	return ix.searchLayer(ctx, q, ep, ef, 0, st)
+}
+
+// candMinHeap pops the closest candidate first (the frontier).
+type candMinHeap []cand
+
+func (h *candMinHeap) push(c cand) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *candMinHeap) pop() cand {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && candLess((*h)[l], (*h)[s]) {
+			s = l
+		}
+		if r < n && candLess((*h)[r], (*h)[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+	return top
+}
+
+// candMaxHeap keeps the ef best seen, worst at the root (the beam).
+type candMaxHeap []cand
+
+func (h candMaxHeap) worst() cand { return h[0] }
+
+func (h *candMaxHeap) push(c cand) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess((*h)[p], (*h)[i]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *candMaxHeap) replaceWorst(c cand) {
+	(*h)[0] = c
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && candLess((*h)[s], (*h)[l]) {
+			s = l
+		}
+		if r < n && candLess((*h)[s], (*h)[r]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+}

@@ -1,0 +1,158 @@
+package ann
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/linalg"
+)
+
+// This file is the exactness boundary of the subsystem: the graph
+// proposes candidate ids, this layer re-scores them with the
+// full-precision float64 metric and the same (Dist, ID) total order the
+// exact backends use. Given the candidate set, the returned result list
+// is therefore bit-identical to what the hybrid tree would return over
+// those same ids — which is what keeps every downstream feedback
+// computation exact.
+
+// NavigationCenters extracts the query representatives the graph
+// navigates toward — distance.Centers: one graph descent per
+// representative, candidate sets unioned. An unrecognized metric yields
+// nil and the caller falls back to an exhaustive exact sweep, trading
+// latency for correctness rather than guessing a navigation target.
+func NavigationCenters(m distance.Metric) []linalg.Vector {
+	return distance.Centers(m)
+}
+
+// KNN implements the index.Searcher contract on the graph with the
+// default efSearch.
+func (ix *Index) KNN(m distance.Metric, k int) ([]index.Result, index.SearchStats) {
+	res, stats, _ := ix.KNNEf(context.Background(), m, k, 0)
+	return res, stats
+}
+
+// KNNContext is KNN with cooperative cancellation: navigation stops at
+// the next check, and whatever candidates were gathered are still
+// exactly refined, so an interrupted search returns a valid (if
+// lower-recall) prefix with the context error.
+func (ix *Index) KNNContext(ctx context.Context, m distance.Metric, k int) ([]index.Result, index.SearchStats, error) {
+	return ix.KNNEf(ctx, m, k, 0)
+}
+
+// KNNEf is the per-query entry point: ef overrides the index's default
+// efSearch (0 keeps the default; values below k are raised to k). An
+// ef covering the whole collection degenerates to an exhaustive exact
+// sweep — no graph hops, every row refined — which is also the
+// configuration under which results are bit-identical to the exact
+// backends unconditionally, not just per candidate set.
+func (ix *Index) KNNEf(ctx context.Context, m distance.Metric, k, ef int) ([]index.Result, index.SearchStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var stats index.SearchStats
+	stats.Workers = 1
+	n := len(ix.nodes)
+	if k <= 0 || n == 0 {
+		return nil, stats, ctx.Err()
+	}
+	if ef <= 0 {
+		ef = ix.opt.EfSearch
+	}
+	if ef < k {
+		ef = k
+	}
+
+	centers := NavigationCenters(m)
+	if ef >= n || len(centers) == 0 {
+		res := ix.refineAll(m, k, &stats)
+		return res, stats, nil
+	}
+
+	st := ix.getState()
+	defer ix.putState(st)
+
+	// Union the per-center beams with one more stamp pass over the
+	// visited array (searchLayer bumped past these stamps already, so a
+	// fresh stamp is collision-free).
+	ids := make([]int32, 0, ef*len(centers))
+	q := make([]float32, ix.f32.Dim())
+	var cerr error
+	unionStamp := func() uint32 {
+		st.stamp++
+		if st.stamp == 0 {
+			for i := range st.visited {
+				st.visited[i] = 0
+			}
+			st.stamp = 1
+		}
+		return st.stamp
+	}
+	for _, c := range centers {
+		if cerr = ctx.Err(); cerr != nil {
+			break
+		}
+		if len(c) != ix.f32.Dim() {
+			continue // a foreign-dimension part can never score; skip it
+		}
+		for i, x := range c {
+			q[i] = quantizeClamped(x)
+		}
+		beam := ix.candidates(ctx, q, ef, st)
+		stamp := unionStamp()
+		for _, b := range beam {
+			if st.visited[b.id] != stamp {
+				st.visited[b.id] = stamp
+				ids = append(ids, b.id)
+			}
+		}
+		// Re-mark prior unions under the new stamp for the next center.
+		for _, id := range ids {
+			st.visited[id] = stamp
+		}
+	}
+	stats.GraphHops = st.hops
+	stats.NodesVisited = st.hops
+
+	res := ix.refineIDs(m, ids, k, &stats)
+	return res, stats, cerr
+}
+
+// refineAll exactly scores every row — the degenerate exact path.
+func (ix *Index) refineAll(m distance.Metric, k int, stats *index.SearchStats) []index.Result {
+	n := len(ix.nodes)
+	out := make([]index.Result, 0, n)
+	for id := 0; id < n; id++ {
+		out = append(out, index.Result{ID: id, Dist: m.Eval(ix.store.Vector(id))})
+	}
+	stats.RefineEvals += n
+	stats.DistanceEvals += n
+	return topK(out, k)
+}
+
+// refineIDs exactly scores the candidate set with the full-precision
+// metric over the float64 store.
+func (ix *Index) refineIDs(m distance.Metric, ids []int32, k int, stats *index.SearchStats) []index.Result {
+	out := make([]index.Result, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, index.Result{ID: int(id), Dist: m.Eval(ix.store.Vector(int(id)))})
+	}
+	stats.RefineEvals += len(ids)
+	stats.DistanceEvals += len(ids)
+	return topK(out, k)
+}
+
+// topK sorts by the exact backends' (Dist, ID) total order and keeps k.
+func topK(rs []index.Result, k int) []index.Result {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Dist != rs[b].Dist {
+			return rs[a].Dist < rs[b].Dist
+		}
+		return rs[a].ID < rs[b].ID
+	})
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs
+}

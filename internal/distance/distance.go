@@ -386,3 +386,33 @@ func (a *Aggregate) combine(f func(Metric) float64) float64 {
 	s /= float64(len(a.Parts))
 	return math.Pow(s, 1/a.Alpha)
 }
+
+// Centers extracts a metric's query representatives: the single center
+// of a Euclidean or quadratic form, and every cluster center of the
+// paper's disjunctive / aggregate multipoint metrics. Index layers that
+// navigate toward the query (the ANN graph descends once per
+// representative and unions the candidate sets) use this instead of
+// type-switching themselves; an unrecognized metric yields nil, which
+// such callers must treat as "no navigation target" and fall back to an
+// exact sweep.
+func Centers(m Metric) []linalg.Vector {
+	switch t := m.(type) {
+	case *Euclidean:
+		return []linalg.Vector{t.Center}
+	case *Quadratic:
+		return []linalg.Vector{t.Center}
+	case *Disjunctive:
+		out := make([]linalg.Vector, 0, len(t.Parts))
+		for _, p := range t.Parts {
+			out = append(out, p.Center)
+		}
+		return out
+	case *Aggregate:
+		var out []linalg.Vector
+		for _, p := range t.Parts {
+			out = append(out, Centers(p)...)
+		}
+		return out
+	}
+	return nil
+}

@@ -352,3 +352,26 @@ func TestQuadraticConcurrentEvalFullScheme(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestCenters(t *testing.T) {
+	c1 := linalg.Vector{1, 2}
+	c2 := linalg.Vector{3, 4}
+	ones := linalg.Vector{1, 1}
+	if got := Centers(&Euclidean{Center: c1}); len(got) != 1 || &got[0][0] != &c1[0] {
+		t.Fatalf("euclidean centers = %v", got)
+	}
+	if got := Centers(NewQuadraticDiag(c2, ones)); len(got) != 1 || got[0][0] != 3 {
+		t.Fatalf("quadratic centers = %v", got)
+	}
+	dj := NewDisjunctive([]*Quadratic{NewQuadraticDiag(c1, ones), NewQuadraticDiag(c2, ones)}, []float64{1, 1})
+	if got := Centers(dj); len(got) != 2 || got[1][0] != 3 {
+		t.Fatalf("disjunctive centers = %v", got)
+	}
+	ag := NewAggregate([]Metric{&Euclidean{Center: c1}, dj}, -2)
+	if got := Centers(ag); len(got) != 3 {
+		t.Fatalf("aggregate centers = %v", got)
+	}
+	if got := Centers(nil); got != nil {
+		t.Fatalf("nil metric centers = %v", got)
+	}
+}

@@ -26,10 +26,13 @@ type HybridTree struct {
 	store        *Store
 	root         *treeNode
 	leafCapacity int
-	epoch        uint64 // bumped by every Insert; see Epoch
-	parallelism  int    // resolved worker count for leaf evaluation (>= 1)
-	parMinItems  int    // smallest store for which the parallel path engages
-	numLeaves    int    // leaf count, maintained by build and Insert re-splits
+	epoch        uint64             // bumped by every Insert; see Epoch
+	parallelism  int                // resolved worker count for leaf evaluation (>= 1)
+	parMinItems  int                // smallest store for which the parallel path engages
+	numLeaves    int                // leaf count, maintained by build and Insert re-splits
+	maxResplits  int                // re-split budget per insert batch (<0 = unlimited)
+	pending      []*treeNode        // overflowed leaves awaiting re-split
+	pendingSet   map[*treeNode]bool // membership for the pending queue
 }
 
 type treeNode struct {
@@ -51,7 +54,18 @@ type TreeOptions struct {
 	// threshold) always search sequentially — fan-out costs more than the
 	// scan there.
 	Parallelism int
+	// MaxResplitsPerBatch caps how many overflowed leaves one Insert or
+	// InsertBatch call may rebuild while it holds the write lock; the
+	// rest stay queued (still exact, just oversized) for later batches.
+	// 0 uses the default (8); negative removes the cap.
+	MaxResplitsPerBatch int
 }
+
+// defaultMaxResplits bounds per-batch re-split work: rebuilding a leaf
+// is O(cap·log) with sorting, so 8 rebuilds keep the write-lock hold in
+// the tens of microseconds while still draining any realistic overflow
+// rate faster than it accrues.
+const defaultMaxResplits = 8
 
 // NewHybridTree bulk-loads the index over the store.
 func NewHybridTree(s *Store, opt TreeOptions) *HybridTree {
@@ -66,11 +80,16 @@ func NewHybridTree(s *Store, opt TreeOptions) *HybridTree {
 	for i := range ids {
 		ids[i] = i
 	}
+	maxResplits := opt.MaxResplitsPerBatch
+	if maxResplits == 0 {
+		maxResplits = defaultMaxResplits
+	}
 	t := &HybridTree{
 		store:        s,
 		leafCapacity: capacity,
 		parallelism:  resolveParallelism(opt.Parallelism),
 		parMinItems:  parallelMinItems,
+		maxResplits:  maxResplits,
 	}
 	t.root = t.build(ids)
 	t.numLeaves = countLeaves(t.root)

@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/linalg"
 )
@@ -11,10 +12,10 @@ import (
 // and returns its new id. The vector must match the store's
 // dimensionality and be finite. Indexes built over the store do NOT see
 // the new vector automatically — call the index's Insert with the
-// returned id (HybridTree supports this; a VA-file's quantile grid must
-// be rebuilt). A grow may reallocate the block; subslices handed out
-// earlier by Vector stay valid (they alias the old block, whose contents
-// are never mutated).
+// returned id (HybridTree supports this; a VA-file quantizes new rows
+// against its existing marks via Extend). A grow may reallocate the
+// block; subslices handed out earlier by Vector stay valid (they alias
+// the old block, whose contents are never mutated).
 func (s *Store) Append(v linalg.Vector) (int, error) {
 	if v.Dim() != s.dim {
 		return 0, fmt.Errorf("index: append dim %d, store has %d", v.Dim(), s.dim)
@@ -29,15 +30,42 @@ func (s *Store) Append(v linalg.Vector) (int, error) {
 	return s.n - 1, nil
 }
 
+// InsertStats reports the index-maintenance work of one Insert or
+// InsertBatch call — the visibility half of the re-split fix: inserts
+// used to re-split every overflowing leaf inline under the store write
+// lock with no trace, so an unlucky batch stalled every reader behind
+// an invisible rebuild.
+type InsertStats struct {
+	// Resplits counts overflowed leaves rebuilt into subtrees by this
+	// call (bounded by the per-batch cap).
+	Resplits int
+	// ResplitTime is the wall-clock those rebuilds held the write lock.
+	ResplitTime time.Duration
+	// Deferred is the overflowed-leaf backlog left for later batches.
+	// Deferred leaves stay valid (searches remain exact), just oversized.
+	Deferred int
+}
+
+// Add accumulates other into s.
+func (s *InsertStats) Add(other InsertStats) {
+	s.Resplits += other.Resplits
+	s.ResplitTime += other.ResplitTime
+	if other.Deferred > s.Deferred {
+		s.Deferred = other.Deferred // backlog size, not a sum
+	}
+}
+
 // Insert adds store vector id to the tree: it descends to the leaf whose
 // live-space box needs the least enlargement (growing every box on the
-// path), appends the item, and re-splits the leaf when it overflows.
-// The tree stays exactly correct for search — live-space boxes always
-// contain their subtree's points — though heavy skewed insertion can
-// degrade balance versus a fresh bulk load.
-func (t *HybridTree) Insert(id int) {
+// path) and appends the item. An overflowing leaf is queued and
+// re-split by the bounded drain below — see InsertBatch. The tree stays
+// exactly correct for search either way: live-space boxes always
+// contain their subtree's points, and an oversized leaf is still a
+// valid leaf.
+func (t *HybridTree) Insert(id int) InsertStats {
 	t.epoch++
 	t.insertOne(id)
+	return t.drainResplits()
 }
 
 // InsertBatch adds a contiguous run of store vectors to the tree under a
@@ -45,14 +73,20 @@ func (t *HybridTree) Insert(id int) {
 // correctness (refinement caches taken before the batch are invalidated
 // exactly once) and keeps cross-iteration caches warmer than bumping per
 // vector would.
-func (t *HybridTree) InsertBatch(ids []int) {
+//
+// Re-split work is capped per batch (TreeOptions.MaxResplitsPerBatch):
+// leaves that overflow beyond the cap stay queued and are drained by
+// later inserts, so one pathological batch cannot hold the write lock
+// for an unbounded rebuild while every search waits.
+func (t *HybridTree) InsertBatch(ids []int) InsertStats {
 	if len(ids) == 0 {
-		return
+		return InsertStats{Deferred: len(t.pending)}
 	}
 	t.epoch++
 	for _, id := range ids {
 		t.insertOne(id)
 	}
+	return t.drainResplits()
 }
 
 func (t *HybridTree) insertOne(id int) {
@@ -71,15 +105,42 @@ func (t *HybridTree) insertOne(id int) {
 	}
 	growBox(n, v)
 	n.items = append(n.items, id)
-	if len(n.items) > t.leafCapacity {
-		// Re-split the overflowing leaf in place with the same
-		// median-split construction used at bulk load.
-		ids := n.items
-		rebuilt := t.build(ids)
-		*n = *rebuilt
-		t.numLeaves += countLeaves(n) - 1 // the leaf became a subtree
+	if len(n.items) > t.leafCapacity && !t.pendingSet[n] {
+		if t.pendingSet == nil {
+			t.pendingSet = make(map[*treeNode]bool)
+		}
+		t.pendingSet[n] = true
+		t.pending = append(t.pending, n)
 	}
 }
+
+// drainResplits rebuilds queued overflowed leaves, oldest first, up to
+// the per-batch cap, with the same median-split construction used at
+// bulk load. A queued node that an earlier drain already rebuilt (it
+// became an internal node in place) is skipped.
+func (t *HybridTree) drainResplits() InsertStats {
+	var st InsertStats
+	budget := t.maxResplits
+	for len(t.pending) > 0 && (budget < 0 || st.Resplits < budget) {
+		n := t.pending[0]
+		t.pending = t.pending[1:]
+		delete(t.pendingSet, n)
+		if !n.isLeaf() || len(n.items) <= t.leafCapacity {
+			continue
+		}
+		start := time.Now()
+		rebuilt := t.build(n.items)
+		*n = *rebuilt
+		t.numLeaves += countLeaves(n) - 1 // the leaf became a subtree
+		st.ResplitTime += time.Since(start)
+		st.Resplits++
+	}
+	st.Deferred = len(t.pending)
+	return st
+}
+
+// PendingResplits reports the current overflowed-leaf backlog.
+func (t *HybridTree) PendingResplits() int { return len(t.pending) }
 
 // growBox extends n's bounding box to contain v.
 func growBox(n *treeNode, v linalg.Vector) {

@@ -89,3 +89,84 @@ func TestHybridTreeInsertPanicsOutOfRange(t *testing.T) {
 	}()
 	tree.Insert(5)
 }
+
+func TestInsertResplitCapDefers(t *testing.T) {
+	// A capacity-16 tree with a cap of one re-split per batch: a batch
+	// that overflows several leaves must rebuild exactly one and leave
+	// the rest queued — searches stay exact over the oversized leaves,
+	// and later inserts drain the backlog.
+	rng := rand.New(rand.NewSource(302))
+	s := randStore(rng, 64, 2)
+	tree := NewHybridTree(s, TreeOptions{NodeSizeBytes: 256, MaxResplitsPerBatch: 1})
+
+	ids := make([]int, 0, 256)
+	for i := 0; i < 256; i++ {
+		id, err := s.Append(linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	st := tree.InsertBatch(ids)
+	if st.Resplits != 1 {
+		t.Fatalf("Resplits = %d, want exactly the cap (1)", st.Resplits)
+	}
+	if st.Deferred == 0 || tree.PendingResplits() != st.Deferred {
+		t.Fatalf("Deferred = %d, PendingResplits = %d; want a matching non-zero backlog",
+			st.Deferred, tree.PendingResplits())
+	}
+
+	// Deferred leaves are oversized, never wrong: the tree still agrees
+	// with a linear scan.
+	scan := NewLinearScan(s)
+	m := &distance.Euclidean{Center: linalg.Vector{0, 0}}
+	want, _ := scan.KNN(m, 25)
+	got, _ := tree.KNN(m, 25)
+	if !sameResults(got, want) {
+		t.Fatal("kNN mismatch with deferred re-splits outstanding")
+	}
+
+	// Later inserts drain the backlog one re-split at a time.
+	var total InsertStats
+	for tree.PendingResplits() > 0 {
+		id, err := s.Append(linalg.Vector{rng.NormFloat64(), rng.NormFloat64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ist := tree.Insert(id)
+		if ist.Resplits > 1 {
+			t.Fatalf("single insert drained %d re-splits past the cap", ist.Resplits)
+		}
+		total.Add(ist)
+	}
+	if total.Resplits == 0 || total.ResplitTime <= 0 {
+		t.Fatalf("drain did no timed re-split work: %+v", total)
+	}
+	want, _ = scan.KNN(m, 25)
+	got, _ = tree.KNN(m, 25)
+	if !sameResults(got, want) {
+		t.Fatal("kNN mismatch after the backlog drained")
+	}
+}
+
+func TestInsertUncappedResplits(t *testing.T) {
+	// A negative cap removes the bound: no batch leaves a backlog.
+	rng := rand.New(rand.NewSource(303))
+	s := randStore(rng, 16, 2)
+	tree := NewHybridTree(s, TreeOptions{NodeSizeBytes: 256, MaxResplitsPerBatch: -1})
+	ids := make([]int, 0, 512)
+	for i := 0; i < 512; i++ {
+		id, err := s.Append(linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	st := tree.InsertBatch(ids)
+	if st.Deferred != 0 || tree.PendingResplits() != 0 {
+		t.Fatalf("uncapped batch deferred %d re-splits", st.Deferred)
+	}
+	if st.Resplits == 0 {
+		t.Fatal("512 inserts into capacity-16 leaves re-split nothing")
+	}
+}

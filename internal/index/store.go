@@ -134,6 +134,12 @@ type SearchStats struct {
 	// asked for), so AbandonedEvals/BatchedEvals is the fraction of
 	// candidate evaluations the kernels did not pay in full.
 	AbandonedEvals int
+	// GraphHops counts ANN graph nodes expanded during navigation
+	// (greedy descent + layer-0 beam). 0 on the exact backends.
+	GraphHops int
+	// RefineEvals counts full-precision exact re-evaluations of ANN
+	// candidates — a subset of DistanceEvals. 0 on the exact backends.
+	RefineEvals int
 }
 
 // Add accumulates other into s: work counters sum; Workers keeps the
@@ -147,6 +153,8 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.ParallelBatches += other.ParallelBatches
 	s.BatchedEvals += other.BatchedEvals
 	s.AbandonedEvals += other.AbandonedEvals
+	s.GraphHops += other.GraphHops
+	s.RefineEvals += other.RefineEvals
 	if other.Workers > s.Workers {
 		s.Workers = other.Workers
 	}

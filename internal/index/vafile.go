@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -82,6 +83,26 @@ func NewVAFile(s *Store, opt VAFileOptions) *VAFile {
 	return va
 }
 
+// Extend quantizes store rows appended since construction (or the last
+// Extend) against the existing marks — the VA-file's insert path. New
+// rows land in whatever edge cells the original quantile grid gives
+// them; filtering quality for far-outlying inserts degrades gracefully
+// (looser lower bounds, never wrong ones) until a rebuild.
+func (va *VAFile) Extend() {
+	dim := va.store.Dim()
+	for i := len(va.cells) / dim; i < va.store.Len(); i++ {
+		v := va.store.Vector(i)
+		for d := 0; d < dim; d++ {
+			va.cells = append(va.cells, int32(va.cellOf(d, v[d])))
+		}
+	}
+}
+
+// numApprox returns the number of rows with an approximation entry —
+// the scan bound, so a store row appended without Extend is invisible
+// rather than out-of-range.
+func (va *VAFile) numApprox() int { return len(va.cells) / va.store.Dim() }
+
 // cellOf returns the grid cell of value x on dimension d.
 func (va *VAFile) cellOf(d int, x float64) int {
 	b := va.marks[d].bounds
@@ -129,9 +150,23 @@ func (va *VAFile) cellBox(i int, lo, hi linalg.Vector) {
 // distance; phase 2's exact evaluations are interleaved so the bound
 // tightens as the scan proceeds (the "VA-SSA" variant).
 func (va *VAFile) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
+	res, stats, _ := va.KNNContext(context.Background(), m, k)
+	return res, stats
+}
+
+// KNNContext is KNN with cooperative cancellation, checked between
+// refinement chunks: an interrupted scan returns the best results found
+// so far together with ctx.Err(). A nil error means the scan completed
+// and the results are exact.
+func (va *VAFile) KNNContext(ctx context.Context, m distance.Metric, k int) ([]Result, SearchStats, error) {
 	var stats SearchStats
+	stats.Workers = 1
+	n := va.numApprox()
 	dim := va.store.Dim()
 	h := newResultHeap(k)
+	if k <= 0 || n == 0 {
+		return nil, stats, ctx.Err()
+	}
 	lo := make(linalg.Vector, dim)
 	hi := make(linalg.Vector, dim)
 
@@ -142,13 +177,16 @@ func (va *VAFile) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
 		id    int
 		bound float64
 	}
-	cands := make([]cand, va.store.Len())
+	cands := make([]cand, n)
 	for i := range cands {
 		va.cellBox(i, lo, hi)
 		cands[i] = cand{id: i, bound: m.LowerBound(lo, hi)}
 	}
-	stats.NodesVisited = va.store.Len() // approximation entries scanned
+	stats.NodesVisited = n // approximation entries scanned
 	sort.Slice(cands, func(a, b int) bool { return cands[a].bound < cands[b].bound })
+	if err := ctx.Err(); err != nil {
+		return h.sorted(), stats, err
+	}
 
 	if be := newBatchEvaluator(m, va.store); be != nil {
 		// Refine in chunks: each chunk admits every candidate whose lower
@@ -160,6 +198,9 @@ func (va *VAFile) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
 		// the result set stays identical.
 		ids := make([]int, 0, vaBatchItems)
 		for i := 0; i < len(cands); {
+			if err := ctx.Err(); err != nil {
+				return h.sorted(), stats, err
+			}
 			b := h.bound()
 			if cands[i].bound > b {
 				break // every remaining candidate is at least this far
@@ -173,27 +214,33 @@ func (va *VAFile) KNN(m distance.Metric, k int) ([]Result, SearchStats) {
 			stats.BatchedEvals += len(ids)
 			stats.AbandonedEvals += be.evalInto(ids, b, h)
 		}
-		return h.sorted(), stats
+		return h.sorted(), stats, nil
 	}
-	for _, c := range cands {
+	for i, c := range cands {
 		if c.bound > h.bound() {
 			break // every remaining candidate is at least this far
+		}
+		if i&(vaBatchItems-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return h.sorted(), stats, err
+			}
 		}
 		stats.DistanceEvals++
 		h.offer(Result{ID: c.id, Dist: m.Eval(va.store.Vector(c.id))})
 	}
-	return h.sorted(), stats
+	return h.sorted(), stats, nil
 }
 
 // Range returns every object with distance <= radius using the same
 // filter-and-refine scan.
 func (va *VAFile) Range(m distance.Metric, radius float64) ([]Result, SearchStats) {
 	var stats SearchStats
+	n := va.numApprox()
 	dim := va.store.Dim()
 	lo := make(linalg.Vector, dim)
 	hi := make(linalg.Vector, dim)
 	var out []Result
-	stats.NodesVisited = va.store.Len()
+	stats.NodesVisited = n
 	if be := newBatchEvaluator(m, va.store); be != nil {
 		// The radius is the natural abandonment bound: a candidate whose
 		// partial accumulation passes it can never be in range.
@@ -216,7 +263,7 @@ func (va *VAFile) Range(m distance.Metric, radius float64) ([]Result, SearchStat
 			}
 			ids = ids[:0]
 		}
-		for i := 0; i < va.store.Len(); i++ {
+		for i := 0; i < n; i++ {
 			va.cellBox(i, lo, hi)
 			if m.LowerBound(lo, hi) > radius {
 				continue
@@ -230,7 +277,7 @@ func (va *VAFile) Range(m distance.Metric, radius float64) ([]Result, SearchStat
 		sortResults(out)
 		return out, stats
 	}
-	for i := 0; i < va.store.Len(); i++ {
+	for i := 0; i < n; i++ {
 		va.cellBox(i, lo, hi)
 		if m.LowerBound(lo, hi) > radius {
 			continue

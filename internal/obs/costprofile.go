@@ -39,11 +39,15 @@ const (
 	StageFeedback
 	// StageEncode is the response encoding and write.
 	StageEncode
+	// StageResplit is deferred index maintenance an ingest request paid
+	// for: overflowed tree leaves re-split under the store write lock
+	// (capped per batch; see index.InsertStats).
+	StageResplit
 	numStages
 )
 
 // StageNames maps Stage values to their span/JSON names.
-var StageNames = [numStages]string{"queue", "lock", "search", "merge", "feedback", "encode"}
+var StageNames = [numStages]string{"queue", "lock", "search", "merge", "feedback", "encode", "resplit"}
 
 // String returns the stage's name.
 func (s Stage) String() string {
@@ -63,6 +67,11 @@ type CostStats struct {
 	BatchedEvals    int `json:"batched_evals"`
 	AbandonedEvals  int `json:"abandoned_evals"`
 	CacheSeedLeaves int `json:"cache_seed_leaves,omitempty"`
+	// GraphHops/RefineEvals describe the ANN backend's work: graph
+	// nodes expanded during navigation and candidates exactly re-scored
+	// with the full-precision metric. 0 on the exact backends.
+	GraphHops   int `json:"graph_hops,omitempty"`
+	RefineEvals int `json:"refine_evals,omitempty"`
 }
 
 // Add accumulates other into s.
@@ -74,6 +83,8 @@ func (s *CostStats) Add(other CostStats) {
 	s.BatchedEvals += other.BatchedEvals
 	s.AbandonedEvals += other.AbandonedEvals
 	s.CacheSeedLeaves += other.CacheSeedLeaves
+	s.GraphHops += other.GraphHops
+	s.RefineEvals += other.RefineEvals
 }
 
 // PruneRatio is the fraction of index leaves the search never touched.
@@ -403,6 +414,8 @@ func (t *Tracer) export(p *CostProfile) {
 			F("distance_evals", sc.Stats.DistanceEvals),
 			F("batched_evals", sc.Stats.BatchedEvals),
 			F("abandoned_evals", sc.Stats.AbandonedEvals),
+			F("graph_hops", sc.Stats.GraphHops),
+			F("refine_evals", sc.Stats.RefineEvals),
 			F("prune_ratio", sc.Stats.PruneRatio()),
 		}})
 	}
@@ -415,6 +428,8 @@ func (t *Tracer) export(p *CostProfile) {
 		F("leaves_visited", p.Stats.LeavesVisited),
 		F("distance_evals", p.Stats.DistanceEvals),
 		F("abandoned_evals", p.Stats.AbandonedEvals),
+		F("graph_hops", p.Stats.GraphHops),
+		F("refine_evals", p.Stats.RefineEvals),
 		F("prune_ratio", p.Stats.PruneRatio()),
 	}})
 }

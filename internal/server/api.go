@@ -51,13 +51,16 @@ type healthzResponse struct {
 	Shards []shardHealthBlock `json:"shards,omitempty"`
 }
 
-// healthzInfo is the box/binary identity block of /healthz.
+// healthzInfo is the box/binary identity block of /healthz. The
+// embedded IndexInfo flattens the active search backend (and ANN graph
+// parameters) into the same block.
 type healthzInfo struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	GoVersion     string  `json:"go_version"`
 	Commit        string  `json:"vcs_commit,omitempty"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Shards        int     `json:"shards"`
+	qcluster.IndexInfo
 }
 
 // addVectorsRequest appends vectors. Exactly one of vector (single) or
@@ -108,6 +111,11 @@ type createSessionResponse struct {
 	// sharded backend — the affinity hint a fronting load balancer can
 	// pin the tenant with. Absent when unsharded.
 	HomeShard *int `json:"home_shard,omitempty"`
+	// The embedded IndexInfo tells the client which search path will
+	// serve this session's retrievals ("tree", "vafile" or "ann" + graph
+	// parameters) — an "ann" session's results carry a recall contract,
+	// not an exactness one.
+	qcluster.IndexInfo
 }
 
 // feedbackPoint is one relevance judgement. A point whose vector is
@@ -253,6 +261,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) int
 	resp := createSessionResponse{
 		SessionID:  id,
 		TTLSeconds: s.opt.SessionTTL.Seconds(),
+		IndexInfo:  s.be.IndexInfo(),
 	}
 	if home >= 0 {
 		resp.HomeShard = &home

@@ -40,6 +40,11 @@ type Backend interface {
 	// CostSignals exposes the backend's rolling windowed cost
 	// estimators — admission control's read-only per-query cost hook.
 	CostSignals() qcluster.CostSignals
+	// IndexInfo reports the active k-NN execution path ("tree", "vafile"
+	// or "ann") and, for the ANN backend, the resolved graph parameters —
+	// surfaced in /healthz's info block and session-create responses so a
+	// client can tell which recall contract its results carry.
+	IndexInfo() qcluster.IndexInfo
 }
 
 // dbBackend adapts a single qcluster.Database.

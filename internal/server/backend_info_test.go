@@ -1,0 +1,70 @@
+package server
+
+import (
+	"testing"
+
+	qcluster "repro"
+)
+
+// TestBackendInfoSurfaced checks that the active search backend (and the
+// ANN graph parameters) appear both in /healthz's info block and in
+// session-create responses — the client's only way to know whether its
+// results carry an exactness or a recall contract.
+func TestBackendInfoSurfaced(t *testing.T) {
+	vectors, _ := mixture(11, 6, 30, 5)
+	annDB, err := qcluster.NewDatabaseWithOptions(vectors, qcluster.IndexOptions{
+		Backend: qcluster.BackendANN,
+		ANN:     qcluster.ANNOptions{M: 8, EfSearch: 48},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, annDB, Options{})
+
+	var hz healthzResponse
+	if st, _ := call(t, s, "GET", "/healthz", nil, &hz); st != 200 {
+		t.Fatalf("healthz = %d", st)
+	}
+	if hz.Info == nil || hz.Info.Backend != "ann" {
+		t.Fatalf("healthz info backend = %+v, want ann", hz.Info)
+	}
+	if hz.Info.ANNM != 8 || hz.Info.ANNEfSearch != 48 || hz.Info.ANNEfConstruction == 0 {
+		t.Fatalf("healthz ANN params = %+v", hz.Info.IndexInfo)
+	}
+
+	var cs createSessionResponse
+	if st, raw := call(t, s, "POST", "/v1/sessions",
+		createSessionRequest{Example: vectors[0]}, &cs); st != 201 {
+		t.Fatalf("create session = %d %s", st, raw)
+	}
+	if cs.Backend != "ann" || cs.ANNEfSearch != 48 {
+		t.Fatalf("session-create backend info = %+v", cs.IndexInfo)
+	}
+
+	// A session on the ann backend still completes a feedback round.
+	var fb feedbackResponse
+	if st, raw := call(t, s, "POST", "/v1/sessions/"+cs.SessionID+"/feedback",
+		feedbackRequest{Points: []feedbackPoint{
+			{ID: 0, Score: 3}, {ID: 1, Score: 3}, {ID: 2, Score: 3},
+		}}, &fb); st != 200 || !fb.Absorbed {
+		t.Fatalf("feedback = %d %s", st, raw)
+	}
+	var rr resultsResponse
+	if st, _ := call(t, s, "GET", "/v1/sessions/"+cs.SessionID+"/results?k=10", nil, &rr); st != 200 || len(rr.Results) != 10 {
+		t.Fatalf("results = %d, %d results", st, len(rr.Results))
+	}
+
+	// The exact default reports "tree" and no ANN block.
+	treeDB, err := qcluster.NewDatabase(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := startServer(t, treeDB, Options{})
+	var hz2 healthzResponse
+	if st, _ := call(t, st2, "GET", "/healthz", nil, &hz2); st != 200 {
+		t.Fatalf("healthz = %d", st)
+	}
+	if hz2.Info == nil || hz2.Info.Backend != "tree" || hz2.Info.ANNM != 0 {
+		t.Fatalf("tree healthz info = %+v", hz2.Info)
+	}
+}

@@ -24,6 +24,8 @@ func costStats(s index.SearchStats) obs.CostStats {
 		BatchedEvals:    s.BatchedEvals,
 		AbandonedEvals:  s.AbandonedEvals,
 		CacheSeedLeaves: s.CacheSeedLeaves,
+		GraphHops:       s.GraphHops,
+		RefineEvals:     s.RefineEvals,
 	}
 }
 

@@ -282,6 +282,11 @@ func (s *Set) NumShards() int { return len(s.shards) }
 // Dim returns the feature dimensionality.
 func (s *Set) Dim() int { return s.dim }
 
+// IndexInfo reports the active search backend and its parameters. All
+// shards are built from the same IndexOptions, so shard 0 speaks for
+// the set.
+func (s *Set) IndexInfo() qcluster.IndexInfo { return s.shards[0].IndexInfo() }
+
 // Len returns the number of globally visible vectors.
 func (s *Set) Len() int {
 	s.mu.RLock()

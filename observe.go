@@ -46,7 +46,7 @@ type SlowShard = obs.SlowShard
 
 // StageNames returns the canonical request-stage names of a cost
 // profile in pipeline order: queue, lock, search, merge, feedback,
-// encode — the keys of SlowEntry.StageMS.
+// encode, resplit — the keys of SlowEntry.StageMS.
 func StageNames() []string { return obs.StageNames[:] }
 
 // MetricsSnapshot is a point-in-time copy of a metrics registry:
@@ -101,6 +101,13 @@ type SearchStats struct {
 	// PruneRatio is the fraction of leaves pruned: 1 -
 	// LeavesVisited/LeavesTotal.
 	PruneRatio float64
+	// GraphHops counts HNSW graph nodes expanded (ANN backend only; 0 on
+	// exact backends and on the exhaustive-sweep degenerate case).
+	GraphHops int
+	// RefineEvals counts candidates re-scored at full precision by the
+	// ANN exact-refinement stage (a subset of DistanceEvals; 0 on exact
+	// backends).
+	RefineEvals int
 }
 
 func searchStatsFromIndex(s index.SearchStats) SearchStats {
@@ -119,6 +126,8 @@ func searchStatsFromIndex(s index.SearchStats) SearchStats {
 		BatchedEvals:    s.BatchedEvals,
 		AbandonedEvals:  s.AbandonedEvals,
 		PruneRatio:      s.PruneRatio(),
+		GraphHops:       s.GraphHops,
+		RefineEvals:     s.RefineEvals,
 	}
 }
 
@@ -210,8 +219,13 @@ type dbMetrics struct {
 	abandonEvals  *obs.Counter
 	cacheSeeds    *obs.Counter
 	pruneRatio    *obs.Histogram
+	graphHops     *obs.Counter
+	refineEvals   *obs.Counter
 	adds          *obs.Counter
 	items         *obs.Gauge
+	resplits      *obs.Counter
+	resplitNS     *obs.Counter
+	resplitQueue  *obs.Gauge
 	feedbackRnds  *obs.Counter
 	feedbackPts   *obs.Counter
 
@@ -244,8 +258,13 @@ func newDBMetrics() *dbMetrics {
 		abandonEvals:  reg.Counter("index.abandoned_evals"),
 		cacheSeeds:    reg.Counter("index.cache_seed_leaves"),
 		pruneRatio:    reg.Histogram("index.prune_ratio", obs.RatioBuckets()),
+		graphHops:     reg.Counter("index.graph_hops"),
+		refineEvals:   reg.Counter("index.refine_evals"),
 		adds:          reg.Counter("db.adds"),
 		items:         reg.Gauge("db.items"),
+		resplits:      reg.Counter("index.resplits"),
+		resplitNS:     reg.Counter("search.resplit_ns"),
+		resplitQueue:  reg.Gauge("index.resplit_pending"),
 		feedbackRnds:  reg.Counter("feedback.rounds"),
 		feedbackPts:   reg.Counter("feedback.points"),
 		wPrune:        reg.Window("cost.window.prune_ratio", obs.RatioBuckets(), CostWindowSpan),
@@ -271,6 +290,8 @@ func (m *dbMetrics) observeSearch(elapsed time.Duration, k, results int, stats i
 	m.batchedEvals.Add(int64(stats.BatchedEvals))
 	m.abandonEvals.Add(int64(stats.AbandonedEvals))
 	m.cacheSeeds.Add(int64(stats.CacheSeedLeaves))
+	m.graphHops.Add(int64(stats.GraphHops))
+	m.refineEvals.Add(int64(stats.RefineEvals))
 	if stats.LeavesTotal > 0 {
 		m.pruneRatio.Observe(stats.PruneRatio())
 		m.wPrune.Observe(stats.PruneRatio())
@@ -285,6 +306,18 @@ func (m *dbMetrics) observeSearch(elapsed time.Duration, k, results int, stats i
 	}
 }
 
+// observeInsert records the index-maintenance side of one insert:
+// inline leaf re-splits drained (count + write-lock nanoseconds under
+// "search.resplit_ns", since that time is what searches queue behind)
+// and the current deferred-leaf backlog.
+func (m *dbMetrics) observeInsert(st index.InsertStats) {
+	if st.Resplits > 0 {
+		m.resplits.Add(int64(st.Resplits))
+		m.resplitNS.Add(st.ResplitTime.Nanoseconds())
+	}
+	m.resplitQueue.Set(float64(st.Deferred))
+}
+
 // Metrics returns a point-in-time snapshot of the database's metrics
 // registry: search totals and outcome counters ("search.total",
 // "search.partial", "search.degraded", ...), latency and size
@@ -292,7 +325,10 @@ func (m *dbMetrics) observeSearch(elapsed time.Duration, k, results int, stats i
 // index-work counters ("index.leaves_visited", "index.leaves_pruned",
 // "index.distance_evals", "index.batched_evals",
 // "index.abandoned_evals", "index.cache_seed_leaves",
-// "index.prune_ratio") and feedback counters ("feedback.rounds",
+// "index.prune_ratio", plus "index.graph_hops" and
+// "index.refine_evals" on the ANN backend), insert-maintenance
+// counters ("index.resplits", "search.resplit_ns",
+// "index.resplit_pending") and feedback counters ("feedback.rounds",
 // "feedback.points"). Safe to call at any time, including while
 // searches are running.
 func (db *Database) Metrics() MetricsSnapshot { return db.met.reg.Snapshot() }
@@ -337,6 +373,8 @@ func costStatsFromIndex(s index.SearchStats) obs.CostStats {
 		BatchedEvals:    s.BatchedEvals,
 		AbandonedEvals:  s.AbandonedEvals,
 		CacheSeedLeaves: s.CacheSeedLeaves,
+		GraphHops:       s.GraphHops,
+		RefineEvals:     s.RefineEvals,
 	}
 }
 

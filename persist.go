@@ -165,16 +165,7 @@ func newDatabaseFlat(flat []float64, dim int, opt IndexOptions) (*Database, erro
 	if err != nil {
 		return nil, fmt.Errorf("qcluster: %w", err)
 	}
-	db := &Database{
-		store: store,
-		tree: index.NewHybridTree(store, index.TreeOptions{
-			NodeSizeBytes: opt.NodeSizeBytes,
-			Parallelism:   opt.SearchParallelism,
-		}),
-		met: newDBMetrics(),
-	}
-	db.met.items.Set(float64(store.Len()))
-	return db, nil
+	return newDatabaseFromStore(store, opt)
 }
 
 // writeSnapshotFile writes a snapshot image crash-safely: encode to

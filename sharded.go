@@ -43,9 +43,7 @@ func (db *Database) SearchMetricShared(ctx context.Context, m distance.Metric, k
 		return nil, index.SearchStats{}, wrapInterrupt(cerr, 0)
 	}
 	start := time.Now()
-	db.mu.RLock()
-	res, stats, cerr := db.tree.KNNSharedContext(ctx, m, k, sb)
-	db.mu.RUnlock()
+	res, stats, cerr := db.knnBackend(ctx, m, k, sb, nil)
 	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
 	return convertResults(res), stats, wrapInterrupt(cerr, len(res))
 }
@@ -73,9 +71,11 @@ func (ss *ShardSearcher) KNNShared(ctx context.Context, m distance.Metric, k int
 	defer barrier("ShardSearcher.KNNShared", &err)
 	db := ss.db
 	start := time.Now()
-	db.mu.RLock()
-	res, stats, cerr := ss.rs.KNNSharedContext(ctx, m, k, sb)
-	db.mu.RUnlock()
+	rs := ss.rs
+	if db.backend != BackendTree {
+		rs = nil // refinement caches live on the tree path only
+	}
+	res, stats, cerr := db.knnBackend(ctx, m, k, sb, rs)
 	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
 	return convertResults(res), stats, wrapInterrupt(cerr, len(res))
 }
