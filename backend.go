@@ -10,6 +10,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // This file is the backend-selection layer: every Database carries one
@@ -106,13 +107,17 @@ func (db *Database) buildBackend(opt IndexOptions) error {
 	return nil
 }
 
-// syncBackendLocked brings the auxiliary index up to date with store
-// rows appended by the current (write-locked) insert.
+// syncBackendLocked brings the auxiliary indexes up to date with store
+// rows appended by the current (write-locked) insert. Presence-based
+// rather than backend-switched: the adaptive planner keeps auxiliary
+// indexes alive as alternate routes even when they are not the
+// configured backend, and a stale mirror would silently serve wrong
+// results.
 func (db *Database) syncBackendLocked(ids []int) error {
-	switch db.backend {
-	case BackendVAFile:
+	if db.va != nil {
 		db.va.Extend()
-	case BackendANN:
+	}
+	if db.annIdx != nil {
 		if err := db.annIdx.InsertBatch(ids); err != nil {
 			return fmt.Errorf("qcluster: ann insert: %w", err)
 		}
@@ -139,13 +144,44 @@ func (db *Database) checkQuantizable(i int, v []float64) error {
 // knnBackend is the one dispatch point every search path funnels
 // through: it runs one k-NN on the active backend under the read lock.
 // rs (the session's refinement cache) and sb (the cross-shard shared
-// bound) only apply to the tree backend — the VA-file has no leaf cache
+// bound) only apply to the tree route — the VA-file has no leaf cache
 // and the ANN path prunes nothing, so both are ignored there and the
 // scatter-gather merge still works (each leg returns its full local
 // top-k, a superset of what a bound would have kept).
+//
+// With an adaptive planner attached, the route (and the tree's worker
+// count and batch size) is chosen per query from the rolling cost
+// models; completed searches feed back into the chosen route's model.
+// Exact routes are bit-identical to each other, so adaptive routing
+// never changes exact results — only their cost.
 func (db *Database) knnBackend(ctx context.Context, m distance.Metric, k int, sb *index.SharedBound, rs *index.RefinementSearcher) ([]index.Result, index.SearchStats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.planner == nil {
+		return db.knnStaticLocked(ctx, m, k, sb, rs)
+	}
+	q := db.planQueryLocked(m, k, rs)
+	d := db.planner.Plan(q)
+	start := time.Now()
+	res, stats, err := db.knnRouteLocked(ctx, d, m, k, sb, rs)
+	elapsed := time.Since(start)
+	if err == nil {
+		// Interrupted searches are not observed: their truncated latency
+		// would teach the models that expensive queries are cheap.
+		db.planner.Observe(d, q, stats, elapsed)
+	}
+	stats.PlanRoute = string(d.Route)
+	stats.PlanAdaptive = d.Adaptive
+	stats.PlanPredictedSeconds = d.PredictedSeconds
+	db.met.observePlan(d, elapsed)
+	return res, stats, err
+}
+
+// knnStaticLocked is the planner-free dispatch: exactly the statically
+// configured backend. The adaptive path's cold-start fallback must
+// behave identically, which knnRouteLocked guarantees by executing a
+// zero-tuning static decision through the same backend calls.
+func (db *Database) knnStaticLocked(ctx context.Context, m distance.Metric, k int, sb *index.SharedBound, rs *index.RefinementSearcher) ([]index.Result, index.SearchStats, error) {
 	switch db.backend {
 	case BackendVAFile:
 		return db.va.KNNContext(ctx, m, k)
@@ -156,6 +192,63 @@ func (db *Database) knnBackend(ctx context.Context, m distance.Metric, k int, sb
 		return rs.KNNSharedContext(ctx, m, k, sb)
 	}
 	return db.tree.KNNSharedContext(ctx, m, k, sb)
+}
+
+// knnRouteLocked executes one planner decision.
+func (db *Database) knnRouteLocked(ctx context.Context, d plan.Decision, m distance.Metric, k int, sb *index.SharedBound, rs *index.RefinementSearcher) ([]index.Result, index.SearchStats, error) {
+	switch d.Route {
+	case plan.RouteVAFile:
+		return db.va.KNNContext(ctx, m, k)
+	case plan.RouteANN:
+		return db.annIdx.KNNEf(ctx, m, k, d.EfSearch)
+	}
+	tu := index.SearchTuning{Workers: d.Workers, BatchItems: d.BatchItems}
+	if d.Workers > 1 {
+		tu.MinItems = -1 // the planner already decided fan-out pays off
+	}
+	if rs != nil {
+		return rs.KNNSharedTuned(ctx, m, k, sb, tu)
+	}
+	if tu == (index.SearchTuning{}) {
+		return db.tree.KNNSharedContext(ctx, m, k, sb)
+	}
+	return db.tree.WithTuning(tu).KNNSharedContext(ctx, m, k, sb)
+}
+
+// planQueryLocked builds the planner's view of one query.
+func (db *Database) planQueryLocked(m distance.Metric, k int, rs *index.RefinementSearcher) plan.Query {
+	q := plan.Query{
+		K:           k,
+		M:           1,
+		Scheme:      schemeOf(m),
+		N:           db.store.Len(),
+		AllowApprox: db.allowApprox,
+	}
+	if cs := distance.Centers(m); len(cs) > 1 {
+		q.M = len(cs)
+	}
+	if rs != nil {
+		q.CachedLeaves = rs.CachedLeaves()
+	}
+	return q
+}
+
+// schemeOf classifies the metric family for cost-model keying: cost per
+// evaluation differs by family (a full-scheme quadratic form costs
+// O(d²) where Euclidean costs O(d)), so each family learns its own
+// latency curve.
+func schemeOf(m distance.Metric) string {
+	switch m.(type) {
+	case *distance.Euclidean:
+		return "euclidean"
+	case *distance.Quadratic:
+		return "quadratic"
+	case *distance.Disjunctive, *distance.Aggregate:
+		return "multipoint"
+	case *distance.ConvexCombination:
+		return "convex"
+	}
+	return "other"
 }
 
 // SearchApprox answers a plain k-NN query on the ANN backend with an
@@ -192,9 +285,74 @@ func (db *Database) SearchApproxContext(ctx context.Context, example []float64, 
 	start := time.Now()
 	db.mu.RLock()
 	res, stats, cerr := db.annIdx.KNNEf(ctx, m, k, efSearch)
+	if db.planner != nil && cerr == nil {
+		// Explicit approximate traffic warms the ANN cost model too, so
+		// AllowApprox-planned queries start from real measurements.
+		q := db.planQueryLocked(m, k, nil)
+		db.planner.Observe(plan.Decision{Route: plan.RouteANN}, q, stats, time.Since(start))
+	}
 	db.mu.RUnlock()
 	elapsed := time.Since(start)
 	db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
+	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
+	return convertResults(res), wrapInterrupt(cerr, len(res))
+}
+
+// ResultsApprox is the session's approximate retrieval: the current
+// query (refined multipoint after feedback, the plain example before)
+// answered by the ANN backend with an explicit efSearch override (0 =
+// index default). See ResultsApproxContext.
+func (s *Session) ResultsApprox(k, efSearch int) []Result {
+	res, err := s.ResultsApproxContext(context.Background(), k, efSearch)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// ResultsApproxContext is ResultsApprox with cooperative cancellation
+// and a panic barrier. Like SearchApproxContext it requires
+// IndexOptions.Backend "ann" and returns ErrBackendUnavailable on any
+// other backend — the same contract on every path (root, session,
+// sharded). The ANN path has no leaf cache, so the session's
+// refinement cache is neither consulted nor refreshed.
+func (s *Session) ResultsApproxContext(ctx context.Context, k, efSearch int) (_ []Result, err error) {
+	defer barrier("ResultsApproxContext", &err)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("qcluster: search not started: %w", cerr)
+	}
+	if s.db.backend != BackendANN {
+		return nil, fmt.Errorf("qcluster: backend is %q: %w", string(s.db.backend), ErrBackendUnavailable)
+	}
+	var m distance.Metric
+	if s.query.Ready() {
+		m = s.query.metric()
+		if s.query.Health().Degraded() {
+			s.met.degraded.Inc()
+			s.db.met.degraded.Inc()
+		}
+	} else {
+		if len(s.example) != s.db.Dim() {
+			s.db.met.dimMismatch.Inc()
+			return nil, fmt.Errorf("qcluster: session example has dimension %d, database has %d: %w",
+				len(s.example), s.db.Dim(), ErrDimensionMismatch)
+		}
+		m = &distance.Euclidean{Center: s.example}
+	}
+	start := time.Now()
+	s.mu.Lock()
+	s.db.mu.RLock()
+	res, stats, cerr := s.db.annIdx.KNNEf(ctx, m, k, efSearch)
+	if s.db.planner != nil && cerr == nil {
+		q := s.db.planQueryLocked(m, k, nil)
+		s.db.planner.Observe(plan.Decision{Route: plan.RouteANN}, q, stats, time.Since(start))
+	}
+	s.db.mu.RUnlock()
+	s.lastStats = stats
+	s.mu.Unlock()
+	elapsed := time.Since(start)
+	s.met.observeSearch(elapsed, stats, cerr != nil)
+	s.db.met.observeSearch(elapsed, k, len(res), stats, cerr != nil)
 	obs.ProfileFromContext(ctx).AddSearch(start, elapsed, costStatsFromIndex(stats))
 	return convertResults(res), wrapInterrupt(cerr, len(res))
 }

@@ -55,6 +55,17 @@
 // EXPERIMENTS.md):
 //
 //	qbench -exp shard -shardn 20000 -users 16 -shardout BENCH_shard.json
+//
+// The "plan" experiment (also not part of "all") benchmarks the
+// cost-based adaptive query planner: narrow / broad / mixed selectivity
+// regimes, each run under the sequential tree, parallel tree, VA-file
+// and adaptive configurations, with a bit-identity gate against the
+// sequential-tree control (non-zero exit on divergence). -planstrict
+// additionally fails unless adaptive matches or beats the best static
+// configuration on aggregate. Writes BENCH_plan.json (see
+// EXPERIMENTS.md):
+//
+//	qbench -exp plan -plann 20000 -planqueries 150 -planstrict -planout BENCH_plan.json
 package main
 
 import (
@@ -114,6 +125,13 @@ type config struct {
 	shardN   int
 	shardDur time.Duration
 	shardOut string
+
+	// plan-experiment knobs
+	planN       int
+	planDim     int
+	planQueries int
+	planOut     string
+	planStrict  bool
 }
 
 func main() {
@@ -146,6 +164,11 @@ func main() {
 	flag.IntVar(&cfg.shardN, "shardn", 20000, "collection size for -exp shard")
 	flag.DurationVar(&cfg.shardDur, "sharddur", 1500*time.Millisecond, "closed-loop duration per sweep cell for -exp shard")
 	flag.StringVar(&cfg.shardOut, "shardout", "BENCH_shard.json", "JSON output path for -exp shard (empty to skip)")
+	flag.IntVar(&cfg.planN, "plann", 20000, "collection size for -exp plan")
+	flag.IntVar(&cfg.planDim, "plandim", 8, "dimensionality for -exp plan")
+	flag.IntVar(&cfg.planQueries, "planqueries", 150, "timed queries per regime for -exp plan")
+	flag.StringVar(&cfg.planOut, "planout", "BENCH_plan.json", "JSON output path for -exp plan (empty to skip)")
+	flag.BoolVar(&cfg.planStrict, "planstrict", false, "-exp plan: fail unless adaptive matches/beats the best static configuration")
 	flag.Parse()
 
 	ids := expandExperiments(cfg.exp)
@@ -256,6 +279,13 @@ func newRunner(cfg config) *runner {
 		// from "all" — it measures the sharded tier, not the paper's
 		// figures.
 		"shard": r.shardBench,
+		// Adaptive-planner benchmark: a mixed-selectivity sweep of the
+		// cost-based query planner vs every static configuration, with a
+		// bit-identity gate against the sequential-tree control (non-zero
+		// exit on divergence) and optional -planstrict performance gates,
+		// in BENCH_plan.json. Excluded from "all" — it measures the
+		// planner, not the paper's figures.
+		"plan": r.planBench,
 	}
 	return r
 }

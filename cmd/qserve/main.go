@@ -43,6 +43,13 @@
 // -ann-ef). /healthz's info block and session-create responses report
 // the active backend so clients know which contract results carry.
 //
+// With -plan the cost-based adaptive query planner picks the execution
+// path per query (tree vs VA-file route, parallel leaf workers, metric
+// batch size) from live per-route cost models, staying bit-identical on
+// exact routes; -plan-approx additionally lets it route exact searches
+// through the ANN graph (an explicit recall trade-in). Plan decisions
+// and predicted-vs-actual cost surface under plan.* in /metrics.
+//
 // Every request is traced: qserve honors and propagates W3C
 // traceparent headers, and -trace-sample exports span trees (admission
 // queue, session lock, per-shard search legs, merge, encode) as JSON
@@ -116,6 +123,12 @@ func main() {
 		annEfc  = flag.Int("ann-efc", 0, "ann: construction beam width efConstruction (0 = 128)")
 		annSeed = flag.Int64("ann-seed", 0, "ann: level-assignment seed (graph is deterministic given seed + insertion order)")
 
+		// Adaptive query planning: per-query route + tuning selection from
+		// live cost models. Exact-only by default; -plan-approx lets the
+		// planner route exact entry points through the ANN graph.
+		planAdaptive = flag.Bool("plan", false, "enable the cost-based adaptive query planner (per-query route + parallelism selection)")
+		planApprox   = flag.Bool("plan-approx", false, "allow the planner to route exact searches through the ANN backend (results become approximate)")
+
 		// Tracing and slow queries.
 		traceSample = flag.Float64("trace-sample", 0, "head-sampling probability for span export, 0..1 (slow requests are always exported once a sink exists)")
 		traceLog    = flag.String("trace-log", "", "span export destination: a JSON-lines file path, or '-' for stderr (implied stderr when -trace-sample > 0)")
@@ -142,6 +155,10 @@ func main() {
 			EfConstruction: *annEfc,
 			EfSearch:       *annEf,
 			Seed:           *annSeed,
+		},
+		Plan: qcluster.PlanOptions{
+			Adaptive:    *planAdaptive,
+			AllowApprox: *planApprox,
 		},
 	}
 	opt := server.Options{

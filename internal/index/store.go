@@ -140,6 +140,17 @@ type SearchStats struct {
 	// RefineEvals counts full-precision exact re-evaluations of ANN
 	// candidates — a subset of DistanceEvals. 0 on the exact backends.
 	RefineEvals int
+	// PlanRoute is the execution route the cost-based planner chose for
+	// this search ("tree", "vafile", "ann"); empty when no planner ran
+	// and the statically configured backend answered.
+	PlanRoute string
+	// PlanAdaptive reports whether the plan came from warm cost models;
+	// false means the planner fell back to the static configuration
+	// (cold windows) or no planner ran at all.
+	PlanAdaptive bool
+	// PlanPredictedSeconds is the planner's pre-execution latency
+	// estimate for this search (0 when no warm model predicted it).
+	PlanPredictedSeconds float64
 }
 
 // Add accumulates other into s: work counters sum; Workers keeps the
@@ -158,6 +169,15 @@ func (s *SearchStats) Add(other SearchStats) {
 	if other.Workers > s.Workers {
 		s.Workers = other.Workers
 	}
+	// Plan metadata: the first route observed speaks for the aggregate
+	// (per-shard plans are independent; the merged view keeps shard 0's
+	// route), predictions sum, and adaptivity is sticky — any adaptively
+	// planned leg marks the whole search adaptive.
+	if s.PlanRoute == "" {
+		s.PlanRoute = other.PlanRoute
+	}
+	s.PlanAdaptive = s.PlanAdaptive || other.PlanAdaptive
+	s.PlanPredictedSeconds += other.PlanPredictedSeconds
 }
 
 // PruneRatio is the fraction of index leaves the search never touched:

@@ -1,0 +1,85 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelMinItemsKnob pins the engagement-threshold knob's
+// contract: the default keeps the historical 8192-item threshold (a
+// small store searches sequentially even with workers configured), an
+// explicit threshold is honored in both directions, and a negative
+// value removes the threshold entirely. Every variant must stay
+// bit-identical — the knob moves cost, never results.
+func TestParallelMinItemsKnob(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	const n, dim, k = 3000, 6, 25 // n below the 8192 default threshold
+	s := randStore(rng, n, dim)
+	m := euclid(s.Vector(7))
+
+	want, _ := NewHybridTree(s, TreeOptions{Parallelism: 1}).KNN(m, k)
+
+	cases := []struct {
+		name        string
+		opt         TreeOptions
+		wantWorkers int
+	}{
+		{"default threshold keeps small stores sequential", TreeOptions{Parallelism: 4}, 1},
+		{"negative removes the threshold", TreeOptions{Parallelism: 4, ParallelMinItems: -1}, 4},
+		{"threshold below store size engages", TreeOptions{Parallelism: 4, ParallelMinItems: 1000}, 4},
+		{"threshold above store size stays sequential", TreeOptions{Parallelism: 4, ParallelMinItems: 5000}, 1},
+	}
+	for _, tc := range cases {
+		tree := NewHybridTree(s, tc.opt)
+		got, stats := tree.KNN(m, k)
+		if stats.Workers != tc.wantWorkers {
+			t.Errorf("%s: Workers = %d, want %d", tc.name, stats.Workers, tc.wantWorkers)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", tc.name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: result %d = %+v, want %+v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWithTuningOverrides checks the planner's per-query view: a zero
+// SearchTuning changes nothing, Workers>1 with MinItems=-1 engages the
+// parallel path on a small store, and Workers=1 forces the sequential
+// path on a tree configured parallel — all bit-identical, with the
+// underlying tree's configuration untouched.
+func TestWithTuningOverrides(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	const n, dim, k = 2500, 5, 20
+	s := randStore(rng, n, dim)
+	m := euclid(s.Vector(3))
+	tree := NewHybridTree(s, TreeOptions{Parallelism: 4})
+	want, _ := NewHybridTree(s, TreeOptions{Parallelism: 1}).KNN(m, k)
+
+	check := func(name string, view *HybridTree, wantWorkers int) {
+		t.Helper()
+		got, stats := view.KNN(m, k)
+		if stats.Workers != wantWorkers {
+			t.Errorf("%s: Workers = %d, want %d", name, stats.Workers, wantWorkers)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: result %d = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	check("zero tuning keeps configured behavior", tree.WithTuning(SearchTuning{}), 1) // small store: sequential
+	check("MinItems=-1 engages parallel", tree.WithTuning(SearchTuning{MinItems: -1}), 4)
+	check("explicit batch size", tree.WithTuning(SearchTuning{MinItems: -1, BatchItems: 64}), 4)
+	check("Workers=1 forces sequential", tree.WithTuning(SearchTuning{Workers: 1, MinItems: -1}), 1)
+
+	// The view must not have mutated the shared tree.
+	if tree.Parallelism() != 4 || tree.parMinItems != parallelMinItems || tree.batchItems != parallelBatchItems {
+		t.Fatalf("tuning view mutated the tree: parallelism=%d parMinItems=%d batchItems=%d",
+			tree.Parallelism(), tree.parMinItems, tree.batchItems)
+	}
+}

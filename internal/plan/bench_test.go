@@ -1,0 +1,66 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/index"
+)
+
+// warmPlanner builds a planner with both exact routes warm (tree cheap,
+// VA-file expensive) and probing disabled, so every Plan decision is
+// model-driven.
+func warmPlanner() (*Planner, Query, index.SearchStats) {
+	p := New(Config{
+		Static:        RouteTree,
+		StaticWorkers: 4,
+		Routes:        []Route{RouteTree, RouteVAFile},
+		ProbeEvery:    -1,
+	})
+	q := Query{K: 100, M: 1, Scheme: "euclidean", N: 20000}
+	stats := index.SearchStats{DistanceEvals: 2000, BatchedEvals: 1500, AbandonedEvals: 400}
+	for i := 0; i < 32; i++ {
+		p.Observe(Decision{Route: RouteTree}, q, stats, 100*time.Microsecond)
+		p.Observe(Decision{Route: RouteVAFile}, q, stats, 5*time.Millisecond)
+	}
+	return p, q, stats
+}
+
+// BenchmarkPlanObserve measures the planner's per-query overhead on the
+// search hot path: one warm Plan decision plus the Observe that feeds
+// the chosen model. Searches on small collections run in ~100µs, so
+// this round-trip must stay a small fraction of that — and it must not
+// allocate, since it runs once per query under the caller's latency
+// budget.
+func BenchmarkPlanObserve(b *testing.B) {
+	p, q, stats := warmPlanner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := p.Plan(q)
+		p.Observe(d, q, stats, 100*time.Microsecond)
+	}
+}
+
+// BenchmarkPlanOnly isolates the decision half: two model fits (one
+// O(ring) pass each), the probe counter, and the route comparison.
+func BenchmarkPlanOnly(b *testing.B) {
+	p, q, _ := warmPlanner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Plan(q)
+	}
+}
+
+// BenchmarkObserveOnly isolates the learning half: the winsorization
+// mean pass plus the ring write.
+func BenchmarkObserveOnly(b *testing.B) {
+	p, q, stats := warmPlanner()
+	d := Decision{Route: RouteTree, Adaptive: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(d, q, stats, 100*time.Microsecond)
+	}
+}

@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"sync"
+	"time"
+)
+
+// modelPoints is the ring size of one cost model: big enough that a
+// busy route's window is statistically stable, small enough that a
+// model costs ~4 KB and a fit is a trivial linear pass.
+const modelPoints = 128
+
+// obsPoint is one completed search observation.
+type obsPoint struct {
+	at      time.Time
+	evals   float64 // distance evaluations (incl. graph hops + refines)
+	seconds float64
+	abandon float64 // abandoned/batched evaluation ratio
+}
+
+// model is the rolling cost model of one (route, scheme, m-bucket): a
+// time-windowed ring of observations fitted on demand with a tiny least
+// squares. All access goes through its mutex — fits happen at plan time
+// on the query path, so the work under the lock is a single O(ring)
+// pass with no allocation.
+type model struct {
+	mu   sync.Mutex
+	ring [modelPoints]obsPoint
+	next int
+	n    int // live slots (≤ modelPoints); expiry is handled at read time
+}
+
+// add records an observation, winsorizing outliers: once the model is
+// warm, a latency more than outlierFactor× the window's live mean is
+// clamped down to that ceiling. One tail-sampled slow query (GC pause,
+// page fault storm) then nudges the mean instead of dominating it, so
+// it cannot flip a route decision on its own.
+func (mo *model) add(pt obsPoint, span time.Duration, minObs int) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	mean, live := mo.liveMeanLocked(pt.at, span)
+	if live >= minObs && mean > 0 && pt.seconds > outlierFactor*mean {
+		pt.seconds = outlierFactor * mean
+	}
+	mo.ring[mo.next] = pt
+	mo.next = (mo.next + 1) % modelPoints
+	if mo.n < modelPoints {
+		mo.n++
+	}
+}
+
+// liveMeanLocked returns the mean seconds over non-expired points.
+func (mo *model) liveMeanLocked(now time.Time, span time.Duration) (mean float64, live int) {
+	var sum float64
+	for i := 0; i < mo.n; i++ {
+		pt := &mo.ring[i]
+		if now.Sub(pt.at) > span {
+			continue
+		}
+		sum += pt.seconds
+		live++
+	}
+	if live == 0 {
+		return 0, 0
+	}
+	return sum / float64(live), live
+}
+
+// estimate is a fitted snapshot of one model.
+type estimate struct {
+	n           int
+	meanEvals   float64
+	meanSeconds float64
+	// seconds ≈ a + b·evals, least squares over the live window. When
+	// the window has no eval spread the slope degenerates to 0 and the
+	// intercept to the mean.
+	a, b        float64
+	meanAbandon float64
+}
+
+// predictSeconds is the model's latency estimate at its own mean
+// workload — the number routes are compared by. Using the fit at
+// meanEvals (instead of raw meanSeconds) keeps the comparison stable
+// when the window mixes cheap and expensive queries unevenly.
+func (e estimate) predictSeconds() float64 {
+	s := e.a + e.b*e.meanEvals
+	if s < 0 {
+		s = e.meanSeconds
+	}
+	return s
+}
+
+// fit computes the live-window regression. ok is false while the window
+// holds fewer than minObs live points — the planner's cold signal.
+func (mo *model) fit(now time.Time, span time.Duration, minObs int) (estimate, bool) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	var (
+		n                        int
+		sumE, sumS, sumEE, sumES float64
+		sumAb                    float64
+	)
+	for i := 0; i < mo.n; i++ {
+		pt := &mo.ring[i]
+		if now.Sub(pt.at) > span {
+			continue
+		}
+		n++
+		sumE += pt.evals
+		sumS += pt.seconds
+		sumEE += pt.evals * pt.evals
+		sumES += pt.evals * pt.seconds
+		sumAb += pt.abandon
+	}
+	if n < minObs {
+		return estimate{}, false
+	}
+	fn := float64(n)
+	est := estimate{
+		n:           n,
+		meanEvals:   sumE / fn,
+		meanSeconds: sumS / fn,
+		meanAbandon: sumAb / fn,
+	}
+	// Ordinary least squares; guard the degenerate constant-evals window
+	// (variance ~0) where the slope is meaningless.
+	varE := sumEE/fn - est.meanEvals*est.meanEvals
+	if varE > 1e-9 {
+		est.b = (sumES/fn - est.meanEvals*est.meanSeconds) / varE
+		if est.b < 0 {
+			est.b = 0 // more work is never cheaper; noise-driven negative slopes get flattened
+		}
+		est.a = est.meanSeconds - est.b*est.meanEvals
+	} else {
+		est.a = est.meanSeconds
+	}
+	return est, true
+}

@@ -1,0 +1,351 @@
+// Package plan is the cost-based adaptive query planner: it picks, per
+// query, which execution path answers a k-NN request (hybrid tree,
+// VA-file filter-and-refine, or ANN graph + exact refinement), whether
+// the tree's parallel leaf stage engages and with how many workers, and
+// how large the metric batch units should be — all from lightweight
+// per-(route, scheme, m) cost models fitted online over the same
+// SearchStats stream the observability layer already exports.
+//
+// The planner is deliberately conservative:
+//
+//   - Exact routes (tree, VA-file) are bit-identical to each other, so
+//     routing between them can never change results — only cost. The ANN
+//     route is approximate and is considered only when the query says so
+//     (Query.AllowApprox), never silently.
+//   - While a model's window is cold (fewer than Config.MinObservations
+//     live points) the planner returns the static configuration
+//     unchanged, so a freshly started system behaves exactly like one
+//     with no planner at all.
+//   - Cold non-static routes warm up through deterministic probing:
+//     every Config.ProbeEvery-th decision routes one query down a cold
+//     eligible route instead of the static path. Probes are restricted
+//     to exact routes unless the query tolerates approximation.
+package plan
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/index"
+)
+
+// Route names one execution path. The values match the public backend
+// names ("tree", "vafile", "ann") so stats and metrics read uniformly.
+type Route string
+
+const (
+	RouteTree   Route = "tree"
+	RouteVAFile Route = "vafile"
+	RouteANN    Route = "ann"
+)
+
+// Query describes one k-NN request before execution — everything the
+// planner may condition on.
+type Query struct {
+	// K is the requested result count.
+	K int
+	// M is the number of query representatives (the paper's cluster
+	// count; 1 for single-point queries). Cost grows with m, which is
+	// why models are bucketed by it.
+	M int
+	// Scheme is the metric family: "euclidean", "quadratic",
+	// "multipoint", or "other". Together with the m bucket it keys the
+	// cost model.
+	Scheme string
+	// N is the collection size at plan time.
+	N int
+	// CachedLeaves is the refinement searcher's warm leaf-cache size (0
+	// for uncached searches) — warm caches make the tree route cheaper
+	// than its model (fitted mostly on colder searches) predicts.
+	CachedLeaves int
+	// AllowApprox marks the ANN route eligible: set on explicit
+	// SearchApprox* calls and, when PlanOptions.AllowApprox opted in,
+	// on exact entry points too.
+	AllowApprox bool
+}
+
+// Decision is the planner's answer: the route plus the tuning the
+// executor should apply.
+type Decision struct {
+	Route Route
+	// Workers is the tree leaf-evaluation worker count (1 = sequential;
+	// 0 = keep the tree's static configuration). Only meaningful on the
+	// tree route.
+	Workers int
+	// BatchItems is the parallel dispatch batch target (0 = default).
+	BatchItems int
+	// EfSearch is the ANN beam width override (0 = index default).
+	EfSearch int
+	// PredictedSeconds is the model's latency estimate for this query on
+	// the chosen route (0 when the decision did not come from a model).
+	PredictedSeconds float64
+	// PredictedEvals is the expected distance-evaluation count.
+	PredictedEvals float64
+	// Adaptive reports a model-driven decision; false is the static
+	// fallback, which the executor must run exactly as if no planner
+	// existed.
+	Adaptive bool
+	// Probe marks a deterministic exploration of a cold route.
+	Probe bool
+}
+
+// Config configures a Planner.
+type Config struct {
+	// Static is the statically configured route — the fallback while
+	// models are cold and the baseline probes are measured against.
+	Static Route
+	// StaticWorkers is the statically resolved tree worker count
+	// (HybridTree.Parallelism()).
+	StaticWorkers int
+	// Routes lists the execution paths whose indexes actually exist.
+	// The static route is always eligible even if absent here.
+	Routes []Route
+	// MaxWorkers caps the planner's worker choice (0 = StaticWorkers,
+	// i.e. the planner only ever turns parallelism off, not up).
+	MaxWorkers int
+	// MinObservations is the per-model warm-up: a model predicts only
+	// once its window holds at least this many live points. 0 = 8.
+	MinObservations int
+	// ProbeEvery routes every n-th decision down a cold eligible route.
+	// 0 = 16; negative disables probing.
+	ProbeEvery int
+	// WindowSpan is how long an observation stays live. 0 = 60s.
+	WindowSpan time.Duration
+	// EvalsPerWorker is the expected per-worker evaluation budget that
+	// sizes the parallel pool: workers ≈ predicted evals / this. 0 = 4096.
+	EvalsPerWorker int
+	// Now is the clock (nil = time.Now); injectable for tests.
+	Now func() time.Time
+}
+
+const (
+	defaultMinObservations = 8
+	defaultProbeEvery      = 16
+	defaultWindowSpan      = 60 * time.Second
+	defaultEvalsPerWorker  = 4096
+	// outlierFactor winsorizes observations: a recorded latency above
+	// outlierFactor × the window's live mean is clamped down to it, so a
+	// single tail-sampled slow query (GC pause, scheduler stall) cannot
+	// flip a warm model's route choice.
+	outlierFactor = 8.0
+	// batchAbandonHigh/Low are the rolling abandonment-rate thresholds
+	// that move the parallel batch size: high abandonment → smaller
+	// batches (a tighter shared bound saves real work), low abandonment
+	// → larger batches (hand-off amortization is all that matters).
+	batchAbandonHigh = 0.6
+	batchAbandonLow  = 0.2
+	batchItemsSmall  = 256
+	batchItemsLarge  = 1024
+)
+
+// Planner fits online cost models and answers Plan/Observe. All methods
+// are safe for concurrent use.
+type Planner struct {
+	cfg Config
+
+	mu      sync.Mutex
+	models  map[modelKey]*model
+	counter uint64 // decision counter driving deterministic probes
+}
+
+// New builds a planner. Config.Static must name a route in (or implied
+// by) Config.Routes.
+func New(cfg Config) *Planner {
+	if cfg.MinObservations <= 0 {
+		cfg.MinObservations = defaultMinObservations
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = defaultProbeEvery
+	}
+	if cfg.WindowSpan <= 0 {
+		cfg.WindowSpan = defaultWindowSpan
+	}
+	if cfg.EvalsPerWorker <= 0 {
+		cfg.EvalsPerWorker = defaultEvalsPerWorker
+	}
+	if cfg.StaticWorkers < 1 {
+		cfg.StaticWorkers = 1
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = cfg.StaticWorkers
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Planner{cfg: cfg, models: make(map[modelKey]*model)}
+}
+
+// Static returns the configured static route.
+func (p *Planner) Static() Route { return p.cfg.Static }
+
+// staticDecision is the fallback: execute exactly the static
+// configuration. Workers/BatchItems stay 0 so the executor applies no
+// tuning view at all.
+func (p *Planner) staticDecision() Decision {
+	return Decision{Route: p.cfg.Static}
+}
+
+// addEligible appends r to the fixed route buffer unless it is a
+// duplicate or an approximate route the query did not opt into. The
+// buffer is stack-allocated by Plan — there are only three route
+// constants, so three slots always suffice.
+func addEligible(buf *[3]Route, n int, r Route, allowApprox bool) int {
+	if r == RouteANN && !allowApprox {
+		return n
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] == r {
+			return n
+		}
+	}
+	if n < len(buf) {
+		buf[n] = r
+		n++
+	}
+	return n
+}
+
+// Plan chooses the execution path for one query. It never blocks on
+// anything but its own short-lived mutexes, and it allocates nothing:
+// at a few hundred nanoseconds it stays invisible next to the ~100µs
+// searches it is steering.
+func (p *Planner) Plan(q Query) Decision {
+	if p == nil {
+		return Decision{Route: RouteTree}
+	}
+	now := p.cfg.Now()
+	var routes [3]Route
+	nr := addEligible(&routes, 0, p.cfg.Static, q.AllowApprox)
+	for _, r := range p.cfg.Routes {
+		nr = addEligible(&routes, nr, r, q.AllowApprox)
+	}
+
+	type routeEst struct {
+		r   Route
+		est estimate
+	}
+	var warm [3]routeEst
+	var cold [3]Route
+	nw, nc := 0, 0
+	for i := 0; i < nr; i++ {
+		r := routes[i]
+		est, ok := p.model(r, q).fit(now, p.cfg.WindowSpan, p.cfg.MinObservations)
+		if ok {
+			warm[nw] = routeEst{r, est}
+			nw++
+		} else {
+			cold[nc] = r
+			nc++
+		}
+	}
+
+	p.mu.Lock()
+	p.counter++
+	c := p.counter
+	p.mu.Unlock()
+
+	// Deterministic exploration: every ProbeEvery-th decision measures a
+	// cold route so its model can start predicting. Exact routes are
+	// always safe to probe (bit-identical results); ANN is in the cold
+	// list only when the query tolerates it.
+	if nc > 0 && p.cfg.ProbeEvery > 0 && c%uint64(p.cfg.ProbeEvery) == 0 {
+		r := cold[int(c/uint64(p.cfg.ProbeEvery))%nc]
+		if r != p.cfg.Static {
+			return Decision{Route: r, Probe: true}
+		}
+	}
+
+	if nw == 0 {
+		return p.staticDecision() // cold start: behave exactly as configured
+	}
+	best := warm[0]
+	for _, re := range warm[1:nw] {
+		if re.est.predictSeconds() < best.est.predictSeconds() {
+			best = re
+		}
+	}
+	d := Decision{
+		Route:            best.r,
+		PredictedSeconds: best.est.predictSeconds(),
+		PredictedEvals:   best.est.meanEvals,
+		Adaptive:         true,
+	}
+	if best.r == RouteTree {
+		d.Workers, d.BatchItems = p.treeTuning(best.est)
+	}
+	return d
+}
+
+// treeTuning sizes the parallel pool from the expected evaluation count
+// and the batch units from the rolling abandonment rate.
+func (p *Planner) treeTuning(est estimate) (workers, batchItems int) {
+	workers = int(est.meanEvals) / p.cfg.EvalsPerWorker
+	if workers > p.cfg.MaxWorkers {
+		workers = p.cfg.MaxWorkers
+	}
+	if workers < 2 {
+		workers = 1 // fan-out never pays for less than two workers' work
+	}
+	switch {
+	case est.meanAbandon >= batchAbandonHigh:
+		batchItems = batchItemsSmall
+	case est.meanAbandon <= batchAbandonLow:
+		batchItems = batchItemsLarge
+	}
+	return workers, batchItems
+}
+
+// Observe records one completed search so the chosen route's model
+// learns from it. Interrupted searches (ctx errors) must not be
+// observed — their truncated latency would teach the model that hard
+// queries are cheap.
+func (p *Planner) Observe(d Decision, q Query, stats index.SearchStats, elapsed time.Duration) {
+	if p == nil || elapsed < 0 {
+		return
+	}
+	evals := float64(stats.DistanceEvals + stats.GraphHops)
+	abandon := 0.0
+	if stats.BatchedEvals > 0 {
+		abandon = float64(stats.AbandonedEvals) / float64(stats.BatchedEvals)
+	}
+	p.model(d.Route, q).add(obsPoint{
+		at:      p.cfg.Now(),
+		evals:   evals,
+		seconds: elapsed.Seconds(),
+		abandon: abandon,
+	}, p.cfg.WindowSpan, p.cfg.MinObservations)
+}
+
+func (p *Planner) model(r Route, q Query) *model {
+	k := modelKey{route: r, scheme: q.Scheme, mBucket: mBucket(q.M)}
+	p.mu.Lock()
+	mo := p.models[k]
+	if mo == nil {
+		mo = &model{}
+		p.models[k] = mo
+	}
+	p.mu.Unlock()
+	return mo
+}
+
+// mBucket groups cluster counts into log2 buckets: 1 | 2–3 | 4–7 | 8+.
+// The paper's multipoint queries grow m by one per feedback round, so
+// neighboring rounds share a model while the cost regimes stay apart.
+func mBucket(m int) int {
+	switch {
+	case m <= 1:
+		return 0
+	case m <= 3:
+		return 1
+	case m <= 7:
+		return 2
+	default:
+		return 3
+	}
+}
+
+type modelKey struct {
+	route   Route
+	scheme  string
+	mBucket int
+}

@@ -1,0 +1,322 @@
+package plan
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/index"
+)
+
+// testClock is an injectable deterministic clock.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testConfig(clock *testClock) Config {
+	return Config{
+		Static:        RouteTree,
+		StaticWorkers: 4,
+		Routes:        []Route{RouteTree, RouteVAFile},
+		ProbeEvery:    -1, // deterministic tests drive warm-up explicitly
+		Now:           clock.now,
+	}
+}
+
+func obsStats(evals int) index.SearchStats {
+	return index.SearchStats{DistanceEvals: evals}
+}
+
+// warm feeds n identical observations into a route's model.
+func warm(p *Planner, r Route, q Query, n int, seconds float64, evals int) {
+	for i := 0; i < n; i++ {
+		p.Observe(Decision{Route: r}, q, obsStats(evals), time.Duration(seconds*float64(time.Second)))
+	}
+}
+
+// TestColdStartIsStatic is the planner's core safety contract: with no
+// observations at all, every decision is the static configuration with
+// zero tuning — indistinguishable from running without a planner.
+func TestColdStartIsStatic(t *testing.T) {
+	p := New(testConfig(newTestClock()))
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+	for i := 0; i < 100; i++ {
+		d := p.Plan(q)
+		if d.Route != RouteTree || d.Adaptive || d.Probe {
+			t.Fatalf("cold decision %d = %+v, want static tree", i, d)
+		}
+		if d.Workers != 0 || d.BatchItems != 0 || d.EfSearch != 0 {
+			t.Fatalf("cold decision %d carries tuning: %+v", i, d)
+		}
+		if d.PredictedSeconds != 0 {
+			t.Fatalf("cold decision %d carries a prediction: %+v", i, d)
+		}
+	}
+}
+
+// TestAdaptiveRoutesToCheaperPath warms both exact routes with clearly
+// separated costs and checks the planner picks the cheaper one — in
+// both directions.
+func TestAdaptiveRoutesToCheaperPath(t *testing.T) {
+	clock := newTestClock()
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+
+	p := New(testConfig(clock))
+	warm(p, RouteTree, q, 16, 0.050, 5000)
+	warm(p, RouteVAFile, q, 16, 0.005, 2000)
+	d := p.Plan(q)
+	if d.Route != RouteVAFile || !d.Adaptive {
+		t.Fatalf("decision = %+v, want adaptive vafile (tree 10x slower)", d)
+	}
+	if d.PredictedSeconds <= 0 {
+		t.Fatalf("adaptive decision carries no prediction: %+v", d)
+	}
+
+	p = New(testConfig(clock))
+	warm(p, RouteTree, q, 16, 0.002, 1000)
+	warm(p, RouteVAFile, q, 16, 0.020, 8000)
+	if d := p.Plan(q); d.Route != RouteTree || !d.Adaptive {
+		t.Fatalf("decision = %+v, want adaptive tree (vafile 10x slower)", d)
+	}
+}
+
+// TestANNRequiresOptIn: the approximate route must never be chosen for
+// a query that did not allow it, no matter how cheap its model says it
+// is.
+func TestANNRequiresOptIn(t *testing.T) {
+	clock := newTestClock()
+	cfg := testConfig(clock)
+	cfg.Routes = []Route{RouteTree, RouteVAFile, RouteANN}
+	p := New(cfg)
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+	warm(p, RouteTree, q, 16, 0.050, 5000)
+	warm(p, RouteVAFile, q, 16, 0.040, 5000)
+	warm(p, RouteANN, Query{K: 10, M: 1, Scheme: "euclidean", AllowApprox: true}, 16, 0.001, 100)
+
+	for i := 0; i < 50; i++ {
+		if d := p.Plan(q); d.Route == RouteANN {
+			t.Fatalf("exact query routed to ann: %+v", d)
+		}
+	}
+	qa := q
+	qa.AllowApprox = true
+	if d := p.Plan(qa); d.Route != RouteANN {
+		t.Fatalf("opt-in query = %+v, want the 40x cheaper ann route", d)
+	}
+}
+
+// TestOutlierDoesNotFlipPlan poisons the winning route's window with one
+// extreme latency and checks the decision is unchanged: winsorization
+// clamps the outlier to outlierFactor x the live mean, so a single GC
+// pause or scheduler stall cannot flip a warm plan.
+func TestOutlierDoesNotFlipPlan(t *testing.T) {
+	clock := newTestClock()
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+	p := New(testConfig(clock))
+	// vafile is the steady winner at 5ms vs the tree's 8ms.
+	warm(p, RouteTree, q, 32, 0.008, 3000)
+	warm(p, RouteVAFile, q, 32, 0.005, 3000)
+	if d := p.Plan(q); d.Route != RouteVAFile {
+		t.Fatalf("pre-outlier decision = %+v, want vafile", d)
+	}
+	// One 10-second stall lands on the vafile window. Unclamped it would
+	// drag the 32-point mean to ~0.3s and flip the route.
+	p.Observe(Decision{Route: RouteVAFile}, q, obsStats(3000), 10*time.Second)
+	if d := p.Plan(q); d.Route != RouteVAFile {
+		t.Fatalf("one outlier flipped the plan: %+v", d)
+	}
+}
+
+// TestWindowExpiryGoesBackToStatic advances the clock past the window
+// span and checks the planner falls back to the static path: stale
+// models must not steer live traffic.
+func TestWindowExpiryGoesBackToStatic(t *testing.T) {
+	clock := newTestClock()
+	cfg := testConfig(clock)
+	cfg.WindowSpan = 60 * time.Second
+	p := New(cfg)
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+	warm(p, RouteTree, q, 16, 0.050, 5000)
+	warm(p, RouteVAFile, q, 16, 0.005, 2000)
+	if d := p.Plan(q); d.Route != RouteVAFile {
+		t.Fatalf("warm decision = %+v, want vafile", d)
+	}
+	clock.advance(2 * time.Minute)
+	if d := p.Plan(q); d.Route != RouteTree || d.Adaptive {
+		t.Fatalf("post-expiry decision = %+v, want static tree", d)
+	}
+}
+
+// TestProbingWarmsColdRoute checks deterministic exploration: with
+// probing enabled, every ProbeEvery-th decision routes to a cold
+// non-static route, and probes stop once the route is warm.
+func TestProbingWarmsColdRoute(t *testing.T) {
+	clock := newTestClock()
+	cfg := testConfig(clock)
+	cfg.ProbeEvery = 4
+	p := New(cfg)
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+
+	probes := 0
+	for i := 0; i < 64; i++ {
+		d := p.Plan(q)
+		if d.Probe {
+			probes++
+			if d.Route != RouteVAFile {
+				t.Fatalf("probe routed to %q, want the cold vafile route", d.Route)
+			}
+			// Feed the probe back like the executor would.
+			p.Observe(d, q, obsStats(2000), 5*time.Millisecond)
+		}
+	}
+	if probes == 0 {
+		t.Fatal("no probes over 64 decisions with ProbeEvery=4")
+	}
+	// vafile is warm now; the tree model is still cold, so the planner
+	// has exactly one warm route to compare — and it should win probing
+	// a route that is already warm.
+	d := p.Plan(q)
+	if d.Probe {
+		t.Fatalf("probed a warm route: %+v", d)
+	}
+}
+
+// TestTreeTuningWorkers checks pool sizing: expected evals below the
+// per-worker budget disable parallelism (Workers=1), large expected
+// evals saturate at MaxWorkers.
+func TestTreeTuningWorkers(t *testing.T) {
+	clock := newTestClock()
+	cfg := testConfig(clock)
+	cfg.MaxWorkers = 4
+	cfg.EvalsPerWorker = 1000
+	p := New(cfg)
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+
+	warm(p, RouteTree, q, 16, 0.001, 500) // half a worker's budget
+	d := p.Plan(q)
+	if d.Route != RouteTree || d.Workers != 1 {
+		t.Fatalf("small query decision = %+v, want sequential tree", d)
+	}
+
+	p = New(cfg)
+	warm(p, RouteTree, q, 16, 0.050, 100000) // 100 workers' budget
+	d = p.Plan(q)
+	if d.Route != RouteTree || d.Workers != 4 {
+		t.Fatalf("large query decision = %+v, want MaxWorkers=4", d)
+	}
+}
+
+// TestBatchItemsFollowAbandonment: high abandonment shrinks the metric
+// batch (a tight bound saves work), low abandonment grows it.
+func TestBatchItemsFollowAbandonment(t *testing.T) {
+	clock := newTestClock()
+	cfg := testConfig(clock)
+	cfg.EvalsPerWorker = 100
+	p := New(cfg)
+	q := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+	for i := 0; i < 16; i++ {
+		p.Observe(Decision{Route: RouteTree}, q,
+			index.SearchStats{DistanceEvals: 5000, BatchedEvals: 5000, AbandonedEvals: 4500},
+			5*time.Millisecond)
+	}
+	if d := p.Plan(q); d.BatchItems != batchItemsSmall {
+		t.Fatalf("high-abandonment decision = %+v, want BatchItems=%d", d, batchItemsSmall)
+	}
+
+	p = New(cfg)
+	for i := 0; i < 16; i++ {
+		p.Observe(Decision{Route: RouteTree}, q,
+			index.SearchStats{DistanceEvals: 5000, BatchedEvals: 5000, AbandonedEvals: 100},
+			5*time.Millisecond)
+	}
+	if d := p.Plan(q); d.BatchItems != batchItemsLarge {
+		t.Fatalf("low-abandonment decision = %+v, want BatchItems=%d", d, batchItemsLarge)
+	}
+}
+
+// TestModelsKeyedBySchemeAndM: observations for one (scheme, m-bucket)
+// must not warm another's model.
+func TestModelsKeyedBySchemeAndM(t *testing.T) {
+	clock := newTestClock()
+	p := New(testConfig(clock))
+	q1 := Query{K: 10, M: 1, Scheme: "euclidean", N: 10000}
+	q8 := Query{K: 10, M: 8, Scheme: "multipoint", N: 10000}
+	warm(p, RouteTree, q1, 16, 0.050, 5000)
+	warm(p, RouteVAFile, q1, 16, 0.005, 2000)
+	if d := p.Plan(q1); d.Route != RouteVAFile {
+		t.Fatalf("warm q1 decision = %+v, want vafile", d)
+	}
+	if d := p.Plan(q8); d.Route != RouteTree || d.Adaptive {
+		t.Fatalf("q8 decision = %+v, want static (its models are cold)", d)
+	}
+}
+
+// TestMBucket pins the bucket boundaries the models are keyed by.
+func TestMBucket(t *testing.T) {
+	want := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 100: 3}
+	for m, b := range want {
+		if got := mBucket(m); got != b {
+			t.Errorf("mBucket(%d) = %d, want %d", m, got, b)
+		}
+	}
+}
+
+// TestFitSlopeNonNegative: a noise-driven negative slope must flatten
+// to zero so predictions never say more work is cheaper.
+func TestFitSlopeNonNegative(t *testing.T) {
+	clock := newTestClock()
+	mo := &model{}
+	for i := 0; i < 16; i++ {
+		// Anti-correlated noise: more evals, less time.
+		mo.add(obsPoint{at: clock.now(), evals: float64(1000 + i*100), seconds: 0.010 - float64(i)*0.0005}, time.Minute, 8)
+	}
+	est, ok := mo.fit(clock.now(), time.Minute, 8)
+	if !ok {
+		t.Fatal("fit not ok with 16 live points")
+	}
+	if est.b != 0 {
+		t.Fatalf("slope = %v, want clamped to 0", est.b)
+	}
+	if est.predictSeconds() <= 0 {
+		t.Fatalf("predictSeconds = %v, want positive", est.predictSeconds())
+	}
+}
+
+// TestPlanConcurrency runs Plan and Observe from many goroutines (with
+// -race) while the query's m drifts, as feedback rounds do.
+func TestPlanConcurrency(t *testing.T) {
+	clock := newTestClock()
+	cfg := testConfig(clock)
+	cfg.ProbeEvery = 4
+	p := New(cfg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q := Query{K: 10, M: 1 + (g+i)%10, Scheme: "multipoint", N: 10000}
+				d := p.Plan(q)
+				p.Observe(d, q, obsStats(1000+i), time.Duration(1+i%5)*time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -35,6 +35,11 @@ type healthzResponse struct {
 	Sessions    int    `json:"sessions"`
 	InFlight    int    `json:"in_flight"`
 	MaxInFlight int    `json:"max_in_flight,omitempty"`
+	// CostUnitsInUse is the admission weight currently held: requests
+	// are priced in units of one average request against the
+	// MaxInFlight unit capacity, so this can differ from InFlight once
+	// the pricing windows are warm.
+	CostUnitsInUse float64 `json:"cost_units_in_use,omitempty"`
 	// Info identifies the serving box and binary — so bench artifacts
 	// can record where numbers came from without manual caveats.
 	Info *healthzInfo `json:"info,omitempty"`

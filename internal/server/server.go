@@ -55,11 +55,15 @@ type Options struct {
 	// ReapInterval is how often the reaper scans for expired sessions.
 	// Default 30s.
 	ReapInterval time.Duration
-	// MaxInFlight bounds concurrently executing /v1 requests. Default
-	// 4 × GOMAXPROCS.
+	// MaxInFlight bounds concurrently executing /v1 requests in
+	// admission cost units, where 1 unit is one average-priced request:
+	// each request is priced at its route's rolling mean execution time
+	// relative to the all-routes mean (cold windows price at exactly
+	// 1 unit), so expensive routes admit proportionally less
+	// concurrency. Default 4 × GOMAXPROCS.
 	MaxInFlight int
-	// QueueWait is how long a request may wait for an in-flight slot
-	// before being shed as 429. Default 100ms; negative sheds
+	// QueueWait is how long a request may wait for its admission cost
+	// units before being shed as 429. Default 100ms; negative sheds
 	// immediately when saturated.
 	QueueWait time.Duration
 	// RequestTimeout is the per-request deadline propagated into the
@@ -228,9 +232,9 @@ func newServer(be Backend, opt Options) *Server {
 		reapStop: make(chan struct{}),
 		reapDone: make(chan struct{}),
 	}
-	// Read-only cost hook: admission control can price a request with
-	// the backend's recent per-query cost estimate (ROADMAP item 5 will
-	// act on it; today it is exported via /healthz).
+	// Read-only cost hook: the backend's recent per-query cost estimate
+	// in seconds, exported via /healthz alongside the unit-based
+	// admission accounting.
 	s.adm.costOf = func() float64 { return be.CostSignals().EstimatedSeconds() }
 	if s.opt.Ingestor == nil {
 		s.opt.Ingestor = be
@@ -366,11 +370,14 @@ func (s *Server) reapLoop() {
 
 // wrap is the common /v1 request pipeline: drain rejection, request
 // tracing (W3C traceparent in, root span + cost profile always),
-// admission control with queue-wait shedding, the per-request deadline,
-// latency metrics and a panic barrier. route is the span/profile label
-// — passed explicitly because the profile outlives the request and must
-// not retain mux internals.
+// cost-priced admission control with queue-wait shedding, the
+// per-request deadline, latency metrics and a panic barrier. route is
+// the span/profile label — passed explicitly because the profile
+// outlives the request and must not retain mux internals.
 func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) (status int)) http.HandlerFunc {
+	// Resolved once at mux setup so the hot path records into the
+	// route's pricing window without a map lookup.
+	rw := s.met.routeWindow(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			s.met.drainRejects.Inc()
@@ -381,7 +388,8 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) (
 		// "Traceparent" (canonical form) avoids the header-key
 		// canonicalization alloc on the always-on path.
 		prof := s.trc.Start(route, r.Header.Get("Traceparent"), start)
-		queued, err := s.adm.acquire(r.Context())
+		cost, predicted := requestPrice(rw, s.met.requestW)
+		charged, queued, err := s.adm.acquire(r.Context(), cost)
 		queueWait := time.Since(start)
 		prof.StageAt(obs.StageQueue, start, queueWait)
 		if queued {
@@ -410,8 +418,10 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) (
 		// Set-from-snapshot on either edge can race another request's
 		// release and leave the gauge stuck above zero on an idle server.
 		s.met.inFlight.Add(1)
+		admitted := time.Now()
 		defer func() {
-			s.adm.release()
+			s.met.observeAdmission(rw, time.Since(admitted).Seconds(), predicted)
+			s.adm.release(charged)
 			s.met.inFlight.Add(-1)
 		}()
 		if s.testBlock != nil {
@@ -456,6 +466,25 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) (
 		}()
 		status = h(sr, r.WithContext(ctx))
 	}
+}
+
+// requestPrice prices one request in admission cost units from the
+// rolling execution-time windows: the route's windowed mean over the
+// all-routes mean, so 1 unit is one average request and a route running
+// 3× the average holds 3 units. Either window cold (no recent signal)
+// prices the request at exactly 1 unit — the uniform "one slot per
+// request" behavior admission control had before cost pricing — and
+// reports no prediction. predictedSeconds is the route's windowed mean
+// wall-clock: the admission layer's pre-execution estimate for this
+// request, later compared against the actual execution time in the
+// server.window.admission_* error metrics.
+func requestPrice(rw, overall *obs.Window) (units, predictedSeconds float64) {
+	routeMean := rw.Mean()
+	mean := overall.Mean()
+	if routeMean <= 0 || mean <= 0 {
+		return 1, 0
+	}
+	return routeMean / mean, routeMean
 }
 
 // retryAfter derives the 429 Retry-After value from the observed
@@ -545,6 +574,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Sessions:            s.mgr.len(),
 		InFlight:            s.adm.inFlight(),
 		MaxInFlight:         s.adm.capacity(),
+		CostUnitsInUse:      s.adm.usedUnits(),
 		Info:                info,
 		CostEstimateSeconds: s.adm.costEstimate(),
 	}

@@ -162,3 +162,37 @@ func (s *Set) searchMetric(ctx context.Context, m distance.Metric, k int) ([]qcl
 		return s.shards[i].SearchMetricShared(ctx, m, k, sb)
 	})
 }
+
+// SearchApproxContext answers a plain k-NN query around an example
+// vector on the ANN backend across all shards, with an explicit
+// efSearch override per shard (0 = index default) — the sharded
+// equivalent of Database.SearchApproxContext, with the same contract:
+// any other backend returns ErrBackendUnavailable.
+func (s *Set) SearchApproxContext(ctx context.Context, example []float64, k, efSearch int) ([]qcluster.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("shard: search not started: %w", err)
+	}
+	if err := s.approxAvailable(); err != nil {
+		return nil, err
+	}
+	if len(example) != s.dim {
+		return nil, fmt.Errorf("shard: example has dimension %d, set has %d: %w",
+			len(example), s.dim, qcluster.ErrDimensionMismatch)
+	}
+	m := qcluster.EuclideanMetric(example)
+	res, _, err := s.gather(ctx, k, func(ctx context.Context, i int, sb *index.SharedBound) ([]qcluster.Result, index.SearchStats, error) {
+		return s.shards[i].SearchApproxMetric(ctx, m, k, efSearch)
+	})
+	return res, err
+}
+
+// approxAvailable checks the set's backend up front so every shard path
+// surfaces the same wrapped ErrBackendUnavailable instead of one
+// "shard 0: ..." flavored error per topology. All shards are built from
+// the same IndexOptions, so shard 0 speaks for the set.
+func (s *Set) approxAvailable() error {
+	if b := s.shards[0].IndexInfo().Backend; b != string(qcluster.BackendANN) {
+		return fmt.Errorf("shard: backend is %q: %w", b, qcluster.ErrBackendUnavailable)
+	}
+	return nil
+}

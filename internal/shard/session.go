@@ -93,6 +93,45 @@ func (sess *Session) ResultsContext(ctx context.Context, k int) ([]qcluster.Resu
 	return res, err
 }
 
+// ResultsApprox is the session's approximate retrieval (see
+// ResultsApproxContext).
+func (sess *Session) ResultsApprox(k, efSearch int) []qcluster.Result {
+	res, err := sess.ResultsApproxContext(context.Background(), k, efSearch)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// ResultsApproxContext retrieves the current query's top-k on the ANN
+// backend across all shards with an explicit efSearch override — the
+// sharded counterpart of qcluster.Session.ResultsApproxContext, with
+// the same contract: a non-ANN backend returns ErrBackendUnavailable.
+func (sess *Session) ResultsApproxContext(ctx context.Context, k, efSearch int) ([]qcluster.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("shard: search not started: %w", err)
+	}
+	if err := sess.set.approxAvailable(); err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	var m distance.Metric
+	if sess.query.Ready() {
+		m = sess.query.Metric()
+	} else {
+		if len(sess.example) != sess.set.dim {
+			return nil, fmt.Errorf("shard: session example has dimension %d, set has %d: %w",
+				len(sess.example), sess.set.dim, qcluster.ErrDimensionMismatch)
+		}
+		m = qcluster.EuclideanMetric(sess.example)
+	}
+	res, _, err := sess.set.gather(ctx, k, func(ctx context.Context, i int, sb *index.SharedBound) ([]qcluster.Result, index.SearchStats, error) {
+		return sess.set.shards[i].SearchApproxMetric(ctx, m, k, efSearch)
+	})
+	return res, err
+}
+
 // MarkRelevant feeds the user's relevance judgement back into the
 // shared query model, with the same validation as
 // qcluster.Session.MarkRelevant.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // This file is the public observability surface: trace sinks (Sink,
@@ -108,6 +109,15 @@ type SearchStats struct {
 	// ANN exact-refinement stage (a subset of DistanceEvals; 0 on exact
 	// backends).
 	RefineEvals int
+	// PlanRoute is the execution route the cost-based planner chose
+	// ("tree", "vafile", "ann"); empty when no planner ran.
+	PlanRoute string
+	// PlanAdaptive reports a model-driven plan (false = the static
+	// fallback or no planner).
+	PlanAdaptive bool
+	// PlanPredictedSeconds is the planner's pre-execution latency
+	// estimate for this search (0 when no warm model predicted it).
+	PlanPredictedSeconds float64
 }
 
 func searchStatsFromIndex(s index.SearchStats) SearchStats {
@@ -128,6 +138,10 @@ func searchStatsFromIndex(s index.SearchStats) SearchStats {
 		PruneRatio:      s.PruneRatio(),
 		GraphHops:       s.GraphHops,
 		RefineEvals:     s.RefineEvals,
+
+		PlanRoute:            s.PlanRoute,
+		PlanAdaptive:         s.PlanAdaptive,
+		PlanPredictedSeconds: s.PlanPredictedSeconds,
 	}
 }
 
@@ -235,6 +249,19 @@ type dbMetrics struct {
 	wAbandon *obs.Window
 	wLeaves  *obs.Window
 	wSearch  *obs.Window
+
+	// Cost-based planner decisions ("plan.*"): route counters, fallback
+	// and probe counts, and the predicted-vs-actual error windows.
+	planDecisions *obs.Counter
+	planStatic    *obs.Counter
+	planProbes    *obs.Counter
+	planTree      *obs.Counter
+	planVAFile    *obs.Counter
+	planANN       *obs.Counter
+	planParallel  *obs.Counter
+	wPlanPredict  *obs.Window
+	wPlanAbsErr   *obs.Window
+	wPlanErrRatio *obs.Window
 }
 
 func newDBMetrics() *dbMetrics {
@@ -271,6 +298,50 @@ func newDBMetrics() *dbMetrics {
 		wAbandon:      reg.Window("cost.window.abandon_rate", obs.RatioBuckets(), CostWindowSpan),
 		wLeaves:       reg.Window("cost.window.leaves_visited", obs.SizeBuckets(), CostWindowSpan),
 		wSearch:       reg.Window("cost.window.search_seconds", obs.LatencyBuckets(), CostWindowSpan),
+		planDecisions: reg.Counter("plan.decisions"),
+		planStatic:    reg.Counter("plan.static_fallback"),
+		planProbes:    reg.Counter("plan.probes"),
+		planTree:      reg.Counter("plan.route.tree"),
+		planVAFile:    reg.Counter("plan.route.vafile"),
+		planANN:       reg.Counter("plan.route.ann"),
+		planParallel:  reg.Counter("plan.parallel_searches"),
+		wPlanPredict:  reg.Window("plan.window.predicted_seconds", obs.LatencyBuckets(), CostWindowSpan),
+		wPlanAbsErr:   reg.Window("plan.window.abs_error_seconds", obs.LatencyBuckets(), CostWindowSpan),
+		wPlanErrRatio: reg.Window("plan.window.error_ratio", obs.RatioBuckets(), CostWindowSpan),
+	}
+}
+
+// observePlan records one planner decision and, when a warm model made
+// a prediction, its predicted-vs-actual error. Allocation-free.
+func (m *dbMetrics) observePlan(d plan.Decision, elapsed time.Duration) {
+	m.planDecisions.Inc()
+	switch d.Route {
+	case plan.RouteTree:
+		m.planTree.Inc()
+	case plan.RouteVAFile:
+		m.planVAFile.Inc()
+	case plan.RouteANN:
+		m.planANN.Inc()
+	}
+	if d.Probe {
+		m.planProbes.Inc()
+	} else if !d.Adaptive {
+		m.planStatic.Inc()
+	}
+	if d.Workers > 1 {
+		m.planParallel.Inc()
+	}
+	if d.PredictedSeconds > 0 {
+		m.wPlanPredict.Observe(d.PredictedSeconds)
+		actual := elapsed.Seconds()
+		err := d.PredictedSeconds - actual
+		if err < 0 {
+			err = -err
+		}
+		m.wPlanAbsErr.Observe(err)
+		if actual > 0 {
+			m.wPlanErrRatio.Observe(err / actual)
+		}
 	}
 }
 
@@ -375,6 +446,9 @@ func costStatsFromIndex(s index.SearchStats) obs.CostStats {
 		CacheSeedLeaves: s.CacheSeedLeaves,
 		GraphHops:       s.GraphHops,
 		RefineEvals:     s.RefineEvals,
+		PlanRoute:       s.PlanRoute,
+		PlanAdaptive:    s.PlanAdaptive,
+		PlanPredictedMS: s.PlanPredictedSeconds * 1e3,
 	}
 }
 

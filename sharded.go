@@ -2,11 +2,13 @@ package qcluster
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/distance"
 	"repro/internal/index"
 	"repro/internal/linalg"
+	"repro/internal/plan"
 )
 
 // This file is the root package's contract with the sharded
@@ -48,6 +50,32 @@ func (db *Database) SearchMetricShared(ctx context.Context, m distance.Metric, k
 	return convertResults(res), stats, wrapInterrupt(cerr, len(res))
 }
 
+// SearchApproxMetric runs one shard-local approximate k-NN leg: the ANN
+// graph proposes candidates, exact refinement scores them with m. It
+// requires the "ann" backend — ErrBackendUnavailable otherwise, the
+// same contract as SearchApproxContext — and takes no shared bound (the
+// ANN path prunes nothing, so each leg returns its full local top-k and
+// the caller's (Dist, ID) merge stays correct).
+func (db *Database) SearchApproxMetric(ctx context.Context, m distance.Metric, k, efSearch int) (_ []Result, _ index.SearchStats, err error) {
+	defer barrier("SearchApproxMetric", &err)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, index.SearchStats{}, wrapInterrupt(cerr, 0)
+	}
+	if db.backend != BackendANN {
+		return nil, index.SearchStats{}, fmt.Errorf("qcluster: backend is %q: %w", string(db.backend), ErrBackendUnavailable)
+	}
+	start := time.Now()
+	db.mu.RLock()
+	res, stats, cerr := db.annIdx.KNNEf(ctx, m, k, efSearch)
+	if db.planner != nil && cerr == nil {
+		q := db.planQueryLocked(m, k, nil)
+		db.planner.Observe(plan.Decision{Route: plan.RouteANN}, q, stats, time.Since(start))
+	}
+	db.mu.RUnlock()
+	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
+	return convertResults(res), stats, wrapInterrupt(cerr, len(res))
+}
+
 // ShardSearcher is the per-shard session-scoped search handle of the
 // scatter-gather tier: it owns a RefinementSearcher (the cross-iteration
 // leaf cache of the multipoint refinement approach) over one shard
@@ -72,8 +100,10 @@ func (ss *ShardSearcher) KNNShared(ctx context.Context, m distance.Metric, k int
 	db := ss.db
 	start := time.Now()
 	rs := ss.rs
-	if db.backend != BackendTree {
-		rs = nil // refinement caches live on the tree path only
+	if db.backend != BackendTree && db.planner == nil {
+		// See Session.results: with an adaptive planner the tree stays an
+		// eligible route, so the per-shard cache remains attached.
+		rs = nil
 	}
 	res, stats, cerr := db.knnBackend(ctx, m, k, sb, rs)
 	db.met.observeSearch(time.Since(start), k, len(res), stats, cerr != nil)
